@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks of the CPU reference substrate — the "CPU"
+//! side of the paper's Figure 2 and the oracles every kernel validates
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use ggpu_genomics::{
+    center_star, greedy_cluster, ksw_extend, nw_score, random_genome, sequence_family,
+    simulate_reads, sw_score, ClusterParams, FmIndex, GapModel, Mapper, MapperParams, PairHmm,
+    ReadProfile, Simple,
+};
+
+const SUB: Simple = Simple {
+    matches: 2,
+    mismatch: -3,
+};
+const GAPS: GapModel = GapModel::Affine { open: 5, extend: 2 };
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alignment");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for len in [64usize, 256] {
+        let a = random_genome(len, &mut rng);
+        let b = random_genome(len, &mut rng);
+        g.throughput(Throughput::Elements((len * len) as u64)); // DP cells
+        g.bench_with_input(BenchmarkId::new("nw_score", len), &len, |bch, _| {
+            bch.iter(|| nw_score(a.codes(), b.codes(), &SUB, GAPS))
+        });
+        g.bench_with_input(BenchmarkId::new("sw_score", len), &len, |bch, _| {
+            bch.iter(|| sw_score(a.codes(), b.codes(), &SUB, GAPS))
+        });
+        g.bench_with_input(BenchmarkId::new("ksw_extend", len), &len, |bch, _| {
+            bch.iter(|| ksw_extend(a.codes(), b.codes(), &SUB, GAPS, 32, 100))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairhmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pairhmm");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let hmm = PairHmm::default();
+    for (rl, hl) in [(32usize, 48usize), (128, 160)] {
+        let read = random_genome(rl, &mut rng);
+        let hap = random_genome(hl, &mut rng);
+        let quals = vec![30u8; rl];
+        g.throughput(Throughput::Elements((rl * hl) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("forward", format!("{rl}x{hl}")),
+            &rl,
+            |bch, _| bch.iter(|| hmm.forward(read.codes(), &quals, hap.codes())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_fmindex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fmindex");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let genome = random_genome(100_000, &mut rng);
+    g.bench_function("build_100k", |bch| bch.iter(|| FmIndex::new(&genome)));
+    let fm = FmIndex::new(&genome);
+    let pat = genome.slice(5_000, 24);
+    g.bench_function("count_24bp", |bch| bch.iter(|| fm.count(&pat)));
+    g.bench_function("find_24bp", |bch| bch.iter(|| fm.find(&pat)));
+    g.finish();
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapper");
+    g.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let genome = random_genome(50_000, &mut rng);
+    let reads = simulate_reads(&genome, 32, ReadProfile::default(), &mut rng);
+    let mapper = Mapper::new(genome, MapperParams::default());
+    g.throughput(Throughput::Elements(reads.len() as u64));
+    g.bench_function("map_32_reads", |bch| {
+        bch.iter(|| {
+            reads
+                .iter()
+                .filter(|r| mapper.map(&r.seq).is_some())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_msa_and_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msa_cluster");
+    g.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let fam: Vec<Vec<u8>> = sequence_family(12, 120, 0.05, 0.01, &mut rng)
+        .into_iter()
+        .map(|s| s.codes().to_vec())
+        .collect();
+    g.bench_function("center_star_12x120", |bch| {
+        bch.iter(|| center_star(&fam, &SUB, GAPS))
+    });
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..8 {
+        for s in sequence_family(6, 150, 0.03, 0.002, &mut rng) {
+            pool.push(s.codes().to_vec());
+        }
+    }
+    g.bench_function("greedy_cluster_48x150", |bch| {
+        bch.iter(|| greedy_cluster(&pool, ClusterParams::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_pairhmm,
+    bench_fmindex,
+    bench_mapper,
+    bench_msa_and_cluster
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the simulated-GPU benchmark suite itself: one
+//! entry per paper benchmark (Tiny scale so the whole suite stays fast),
+//! plus a simulator-throughput probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ggpu_core::{all_benchmarks, GpuConfig, Scale};
+
+fn small_cfg() -> GpuConfig {
+    GpuConfig {
+        n_sms: 8,
+        ..GpuConfig::test_small()
+    }
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suite_tiny");
+    g.sample_size(10);
+    let config = small_cfg();
+    for b in all_benchmarks(Scale::Tiny) {
+        g.bench_function(b.abbrev(), |bch| {
+            bch.iter(|| {
+                let r = b.run(&config, false);
+                assert!(r.verified);
+                r.kernel_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cdp_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suite_tiny_cdp");
+    g.sample_size(10);
+    let config = small_cfg();
+    for b in all_benchmarks(Scale::Tiny) {
+        if matches!(b.abbrev(), "SW" | "STAR" | "NvB") {
+            g.bench_function(b.abbrev(), |bch| {
+                bch.iter(|| {
+                    let r = b.run(&config, true);
+                    assert!(r.verified);
+                    r.kernel_cycles
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_suite, bench_cdp_overhead);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [names...] [--scale tiny|small|paper]
+//! figures all --scale small
+//! ```
+
+use ggpu_bench::figures;
+use ggpu_kernels::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut names = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().map(|s| s.as_str()) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") | None => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    Some(other) => {
+                        eprintln!("unknown scale {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: figures [all|table1|table2|table3|fig2..fig22]... [--scale tiny|small|paper]");
+        eprintln!("experiments: {}", figures::ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    for name in names {
+        figures::run(&name, scale);
+    }
+}

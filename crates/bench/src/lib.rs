@@ -1,0 +1,15 @@
+//! # ggpu-bench — the Genomics-GPU figure/table regeneration harness
+//!
+//! The [`figures`] module regenerates every table (I-III) and figure
+//! (2-22) of the paper; the `figures` binary exposes them as subcommands:
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin figures -- all --scale small
+//! cargo run --release -p ggpu-bench --bin figures -- fig12 fig13 fig14
+//! ```
+//!
+//! Criterion microbenchmarks of the CPU substrate live under `benches/`.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;

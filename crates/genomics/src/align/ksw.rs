@@ -1,0 +1,179 @@
+//! KSW2-style extension alignment: both sequences are anchored at their
+//! starts (e.g. extending from a seed hit), the alignment may end anywhere,
+//! and a *z-drop* heuristic abandons extensions whose score falls too far
+//! below the running maximum — the algorithm behind minimap2's `ksw2` and
+//! GASAL2's KSW kernel.
+
+use crate::scoring::{GapModel, SubstScore};
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Result of an extension alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KswResult {
+    /// Best extension score found.
+    pub score: i32,
+    /// Query length consumed at the best cell.
+    pub query_end: usize,
+    /// Target length consumed at the best cell.
+    pub target_end: usize,
+    /// True when the z-drop heuristic terminated the extension early.
+    pub zdropped: bool,
+}
+
+/// Extend from `(0, 0)` with affine gaps, banding and z-drop.
+///
+/// * `band` — only cells with `|i - j| <= band` are computed.
+/// * `zdrop` — stop when the best score in a row falls more than `zdrop`
+///   below the global best (pass `i32::MAX` to disable).
+pub fn ksw_extend(
+    query: &[u8],
+    target: &[u8],
+    subst: &impl SubstScore,
+    gaps: GapModel,
+    band: usize,
+    zdrop: i32,
+) -> KswResult {
+    let (open, extend) = match gaps {
+        GapModel::Affine { open, extend } => (open, extend),
+        GapModel::Linear { penalty } => (0, penalty),
+    };
+    let m = target.len();
+    let mut h_prev = vec![NEG_INF; m + 1];
+    let mut e_prev = vec![NEG_INF; m + 1];
+    h_prev[0] = 0;
+    #[allow(clippy::needless_range_loop)] // j is also the gap length
+    for j in 1..=m.min(band) {
+        h_prev[j] = -(open + extend * j as i32);
+    }
+    let mut best = 0i32;
+    let mut best_at = (0usize, 0usize);
+    let mut zdropped = false;
+
+    let mut h = vec![NEG_INF; m + 1];
+    let mut e = vec![NEG_INF; m + 1];
+    'rows: for (i, &qc) in query.iter().enumerate() {
+        let row = i + 1;
+        h.fill(NEG_INF);
+        e.fill(NEG_INF);
+        h[0] = if row <= band {
+            -(open + extend * row as i32)
+        } else {
+            NEG_INF
+        };
+        let lo = row.saturating_sub(band).max(1);
+        let hi = row.saturating_add(band).min(m);
+        let mut f = NEG_INF;
+        let mut row_best = NEG_INF;
+        for j in lo..=hi {
+            e[j] = (e_prev[j] - extend).max(h_prev[j] - open - extend);
+            f = (f - extend).max(h[j - 1] - open - extend);
+            let diag = h_prev[j - 1].saturating_add(subst.score(qc, target[j - 1]));
+            h[j] = diag.max(e[j]).max(f);
+            if h[j] > row_best {
+                row_best = h[j];
+            }
+            if h[j] > best {
+                best = h[j];
+                best_at = (row, j);
+            }
+        }
+        if zdrop != i32::MAX && row_best < best - zdrop {
+            zdropped = true;
+            break 'rows;
+        }
+        std::mem::swap(&mut h_prev, &mut h);
+        std::mem::swap(&mut e_prev, &mut e);
+    }
+
+    KswResult {
+        score: best,
+        query_end: best_at.0,
+        target_end: best_at.1,
+        zdropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::Simple;
+    use crate::seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    const SUB: Simple = Simple {
+        matches: 2,
+        mismatch: -3,
+    };
+    const GAPS: GapModel = GapModel::Affine { open: 5, extend: 2 };
+
+    #[test]
+    fn perfect_extension() {
+        let q = dna("ACGTACGT");
+        let r = ksw_extend(q.codes(), q.codes(), &SUB, GAPS, 16, i32::MAX);
+        assert_eq!(r.score, 16);
+        assert_eq!(r.query_end, 8);
+        assert_eq!(r.target_end, 8);
+        assert!(!r.zdropped);
+    }
+
+    #[test]
+    fn extension_stops_at_divergence() {
+        // Shared 8-base prefix, then the sequences diverge completely.
+        let q = dna("ACGTACGTAAAAAAAA");
+        let t = dna("ACGTACGTTTTTTTTT");
+        let r = ksw_extend(q.codes(), t.codes(), &SUB, GAPS, 16, i32::MAX);
+        assert_eq!(r.score, 16, "best is at the end of the shared prefix");
+        assert_eq!(r.query_end, 8);
+        assert_eq!(r.target_end, 8);
+    }
+
+    #[test]
+    fn zdrop_terminates_early() {
+        let q = dna("ACGTACGTAAAAAAAAAAAAAAAAAAAAAAAA");
+        let t = dna("ACGTACGTTTTTTTTTTTTTTTTTTTTTTTTT");
+        let with_drop = ksw_extend(q.codes(), t.codes(), &SUB, GAPS, 16, 10);
+        assert!(with_drop.zdropped);
+        assert_eq!(with_drop.score, 16);
+        let without = ksw_extend(q.codes(), t.codes(), &SUB, GAPS, 16, i32::MAX);
+        assert!(!without.zdropped);
+        assert_eq!(without.score, 16);
+    }
+
+    #[test]
+    fn handles_indel_within_band() {
+        // Query has one extra base; band 4 accommodates it.
+        let q = dna("ACGTTACGTACG");
+        let t = dna("ACGTACGTACG");
+        let r = ksw_extend(q.codes(), t.codes(), &SUB, GAPS, 4, i32::MAX);
+        assert_eq!(r.score, 11 * 2 - (5 + 2));
+        assert_eq!(r.query_end, 12);
+        assert_eq!(r.target_end, 11);
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let r = ksw_extend(&[], dna("ACGT").codes(), &SUB, GAPS, 8, 10);
+        assert_eq!(r.score, 0);
+        assert_eq!(r.query_end, 0);
+    }
+
+    #[test]
+    fn narrow_band_misses_large_indel() {
+        // A 3-base insertion bridges to 16 more matches — profitable, but
+        // only reachable when the band admits the diagonal shift.
+        let q = dna("ACGTAAAACGTACGTACGTACGT");
+        let t = dna("ACGTACGTACGTACGTACGT");
+        let narrow = ksw_extend(q.codes(), t.codes(), &SUB, GAPS, 2, i32::MAX);
+        let wide = ksw_extend(q.codes(), t.codes(), &SUB, GAPS, 10, i32::MAX);
+        assert!(
+            wide.score > narrow.score,
+            "wide {} vs narrow {}",
+            wide.score,
+            narrow.score
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Smith-Waterman local alignment with affine gaps.
+
+use crate::scoring::{GapModel, SubstScore};
+
+use super::{push_op, Alignment, CigarOp};
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Local alignment score only (two-row Gotoh with a zero floor).
+pub fn sw_score(query: &[u8], target: &[u8], subst: &impl SubstScore, gaps: GapModel) -> i32 {
+    let (open, extend) = affine(gaps);
+    let m = target.len();
+    let mut h_prev = vec![0i32; m + 1];
+    let mut e_prev = vec![NEG_INF; m + 1];
+    let mut h = vec![0i32; m + 1];
+    let mut e = vec![0i32; m + 1];
+    let mut best = 0;
+    for &qc in query {
+        let mut f = NEG_INF;
+        h[0] = 0;
+        for j in 1..=m {
+            e[j] = (e_prev[j] - extend).max(h_prev[j] - open - extend);
+            f = (f - extend).max(h[j - 1] - open - extend);
+            let diag = h_prev[j - 1] + subst.score(qc, target[j - 1]);
+            h[j] = diag.max(e[j]).max(f).max(0);
+            best = best.max(h[j]);
+        }
+        std::mem::swap(&mut h_prev, &mut h);
+        std::mem::swap(&mut e_prev, &mut e);
+    }
+    best
+}
+
+/// Full local alignment with traceback. The returned
+/// [`Alignment::query`] / [`Alignment::target`] ranges give the aligned
+/// substrings.
+pub fn sw_align(
+    query: &[u8],
+    target: &[u8],
+    subst: &impl SubstScore,
+    gaps: GapModel,
+) -> Alignment {
+    let (open, extend) = affine(gaps);
+    let n = query.len();
+    let m = target.len();
+    let w = m + 1;
+    let idx = |i: usize, j: usize| i * w + j;
+    let mut h = vec![0i32; (n + 1) * w];
+    let mut e = vec![NEG_INF; (n + 1) * w];
+    let mut f = vec![NEG_INF; (n + 1) * w];
+    let mut best = 0;
+    let mut best_at = (0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let ii = idx(i, j);
+            e[ii] = (e[ii - 1] - extend).max(h[ii - 1] - open - extend);
+            f[ii] = (f[ii - w] - extend).max(h[ii - w] - open - extend);
+            let diag = h[ii - w - 1] + subst.score(query[i - 1], target[j - 1]);
+            h[ii] = diag.max(e[ii]).max(f[ii]).max(0);
+            if h[ii] > best {
+                best = h[ii];
+                best_at = (i, j);
+            }
+        }
+    }
+
+    // Traceback from the best cell until a zero cell.
+    let mut cigar: Vec<(CigarOp, u32)> = Vec::new();
+    let (mut i, mut j) = best_at;
+    let (end_i, end_j) = best_at;
+    let mut state = 0u8;
+    while i > 0 && j > 0 && h[idx(i, j)] > 0 {
+        let ii = idx(i, j);
+        match state {
+            0 => {
+                let diag = h[idx(i - 1, j - 1)] + subst.score(query[i - 1], target[j - 1]);
+                if h[ii] == diag {
+                    push_op(&mut cigar, CigarOp::Match);
+                    i -= 1;
+                    j -= 1;
+                } else if h[ii] == e[ii] {
+                    state = 1;
+                } else {
+                    state = 2;
+                }
+            }
+            1 => {
+                push_op(&mut cigar, CigarOp::Del);
+                let from_open = h[ii - 1] - open - extend;
+                if e[ii] == from_open || j <= 1 {
+                    state = 0;
+                }
+                j -= 1;
+            }
+            _ => {
+                push_op(&mut cigar, CigarOp::Ins);
+                let from_open = h[ii - w] - open - extend;
+                if f[ii] == from_open || i <= 1 {
+                    state = 0;
+                }
+                i -= 1;
+            }
+        }
+    }
+    cigar.reverse();
+    Alignment {
+        score: best,
+        cigar,
+        query: (i, end_i),
+        target: (j, end_j),
+    }
+}
+
+fn affine(gaps: GapModel) -> (i32, i32) {
+    match gaps {
+        GapModel::Affine { open, extend } => (open, extend),
+        GapModel::Linear { penalty } => (0, penalty),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::Simple;
+    use crate::seq::DnaSeq;
+
+    fn dna(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    const SUB: Simple = Simple {
+        matches: 2,
+        mismatch: -3,
+    };
+    const GAPS: GapModel = GapModel::Affine { open: 5, extend: 2 };
+
+    #[test]
+    fn finds_embedded_match() {
+        // Query CCC GTACGT AAA vs target TT GTACGT GG: local region GTACGT.
+        let q = dna("CCCGTACGTAAA");
+        let t = dna("TTGTACGTGG");
+        let a = sw_align(q.codes(), t.codes(), &SUB, GAPS);
+        assert_eq!(a.score, 12);
+        assert_eq!(a.cigar_string(), "6M");
+        assert_eq!(&q.codes()[a.query.0..a.query.1], dna("GTACGT").codes());
+        assert_eq!(&t.codes()[a.target.0..a.target.1], dna("GTACGT").codes());
+    }
+
+    #[test]
+    fn score_matches_align() {
+        let q = dna("ACGTAGCTAGCTT");
+        let t = dna("GGACGTAGTAGCTTAC");
+        let a = sw_align(q.codes(), t.codes(), &SUB, GAPS);
+        assert_eq!(a.score, sw_score(q.codes(), t.codes(), &SUB, GAPS));
+        assert!(a.score > 0);
+    }
+
+    #[test]
+    fn disjoint_sequences_score_low() {
+        let q = dna("AAAAAAAA");
+        let t = dna("TTTTTTTT");
+        assert_eq!(sw_score(q.codes(), t.codes(), &SUB, GAPS), 0);
+        let a = sw_align(q.codes(), t.codes(), &SUB, GAPS);
+        assert_eq!(a.score, 0);
+        assert!(a.cigar.is_empty());
+    }
+
+    #[test]
+    fn local_beats_global_on_partial_overlap() {
+        // Local alignment of partially overlapping sequences scores the
+        // overlap; SW's signature property per the paper's description.
+        let q = dna("AAAACGTACGT");
+        let t = dna("CGTACGTTTTT");
+        let local = sw_score(q.codes(), t.codes(), &SUB, GAPS);
+        assert_eq!(local, 14, "overlap CGTACGT = 7 matches");
+    }
+
+    #[test]
+    fn gap_in_local_alignment() {
+        let q = dna("GGGACGTTACGTGGG");
+        let t = dna("ACGTACGT");
+        let cheap = GapModel::Affine { open: 2, extend: 1 };
+        let a = sw_align(q.codes(), t.codes(), &SUB, cheap);
+        // Aligns ACGT[T]ACGT against ACGTACGT with one insertion:
+        // 8 matches - (open 2 + extend 1) = 13, beating any ungapped run.
+        assert_eq!(a.score, 8 * 2 - 3);
+        let ins: u32 = a
+            .cigar
+            .iter()
+            .filter(|(op, _)| *op == CigarOp::Ins)
+            .map(|(_, n)| *n)
+            .sum();
+        assert_eq!(ins, 1, "CIGAR {}", a.cigar_string());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sw_score(&[], &[], &SUB, GAPS), 0);
+        let a = sw_align(&[], dna("ACGT").codes(), &SUB, GAPS);
+        assert_eq!(a.score, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Greedy incremental alignment-based clustering (the CLUSTER benchmark's
+//! nGIA algorithm): sort by length, keep a growing set of representatives,
+//! and assign each sequence to the first representative it matches above
+//! an identity threshold — with a short-word (k-mer) pre-filter that
+//! rejects most candidate pairs without alignment.
+
+use std::collections::HashMap;
+
+use crate::align::nw_align_banded;
+use crate::scoring::{GapModel, Simple};
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Required identity (aligned-column match fraction), e.g. `0.9`.
+    pub identity: f64,
+    /// Short-word length for the k-mer filter.
+    pub word_len: usize,
+    /// Band width for the verification alignment.
+    pub band: usize,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            identity: 0.9,
+            word_len: 8,
+            band: 16,
+        }
+    }
+}
+
+/// One output cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Input index of the representative sequence.
+    pub representative: usize,
+    /// Input indices of all members (including the representative).
+    pub members: Vec<usize>,
+}
+
+/// Minimum number of shared k-mers for two sequences of length `len` to
+/// possibly reach `identity` (CD-HIT-style short-word bound): each of the
+/// up-to `(1-t)·len` differing bases destroys at most `k` words.
+pub fn kmer_lower_bound(len: usize, k: usize, identity: f64) -> i64 {
+    let words = len as i64 + 1 - k as i64;
+    let diffs = (len as f64 * (1.0 - identity)).floor() as i64;
+    words - diffs * k as i64
+}
+
+fn kmer_counts(seq: &[u8], k: usize) -> HashMap<u64, u32> {
+    let mut m = HashMap::new();
+    if seq.len() < k {
+        return m;
+    }
+    for i in 0..=seq.len() - k {
+        let mut v = 0u64;
+        for &c in &seq[i..i + k] {
+            v = (v << 2) | c as u64;
+        }
+        *m.entry(v).or_insert(0) += 1;
+    }
+    m
+}
+
+fn shared_kmers(a: &HashMap<u64, u32>, b: &HashMap<u64, u32>) -> i64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .map(|(k, &na)| large.get(k).map(|&nb| na.min(nb) as i64).unwrap_or(0))
+        .sum()
+}
+
+/// Greedy incremental clustering of `seqs` (2-bit DNA codes).
+///
+/// Clusters are returned in order of representative discovery; `members`
+/// preserve input order within a cluster.
+pub fn greedy_cluster(seqs: &[Vec<u8>], params: ClusterParams) -> Vec<Cluster> {
+    let subst = Simple::new(2, -3);
+    let gaps = GapModel::Affine { open: 5, extend: 2 };
+
+    // Process longest-first (greedy incremental order).
+    let mut order: Vec<usize> = (0..seqs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(seqs[i].len()));
+
+    struct Rep {
+        idx: usize,
+        kmers: HashMap<u64, u32>,
+        cluster: usize,
+    }
+    let mut reps: Vec<Rep> = Vec::new();
+    let mut clusters: Vec<Cluster> = Vec::new();
+
+    for &i in &order {
+        let seq = &seqs[i];
+        let my_kmers = kmer_counts(seq, params.word_len);
+        let need = kmer_lower_bound(seq.len(), params.word_len, params.identity);
+        let mut assigned = false;
+        for rep in &reps {
+            let rep_seq = &seqs[rep.idx];
+            // Representatives are at least as long (sorted order); a pair
+            // can't reach the identity threshold if the length ratio is
+            // already below it.
+            if (seq.len() as f64) < params.identity * rep_seq.len() as f64 {
+                continue;
+            }
+            // Short-word filter.
+            if need > 0 && shared_kmers(&my_kmers, &rep.kmers) < need {
+                continue;
+            }
+            // Verification alignment.
+            let aln = nw_align_banded(seq, rep_seq, &subst, gaps, params.band);
+            if aln.identity(seq, rep_seq) >= params.identity {
+                clusters[rep.cluster].members.push(i);
+                assigned = true;
+                break;
+            }
+        }
+        if !assigned {
+            let cluster = clusters.len();
+            clusters.push(Cluster {
+                representative: i,
+                members: vec![i],
+            });
+            reps.push(Rep {
+                idx: i,
+                kmers: my_kmers,
+                cluster,
+            });
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::DnaSeq;
+
+    fn dna(s: &str) -> Vec<u8> {
+        s.parse::<DnaSeq>().unwrap().codes().to_vec()
+    }
+
+    #[test]
+    fn identical_sequences_form_one_cluster() {
+        let s = dna("ACGTACGTACGTACGTACGTACGTACGTACGT");
+        let seqs = vec![s.clone(), s.clone(), s];
+        let clusters = greedy_cluster(&seqs, ClusterParams::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 3);
+    }
+
+    #[test]
+    fn dissimilar_sequences_split() {
+        let seqs = vec![
+            dna("ACGTACGTACGTACGTACGTACGTACGTACGT"),
+            dna("TTGGCCAATTGGCCAATTGGCCAATTGGCCAA"),
+        ];
+        let clusters = greedy_cluster(&seqs, ClusterParams::default());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn near_identical_cluster_together() {
+        let base = "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT";
+        let mut variant = base.to_string();
+        // One substitution out of 40 bases: 97.5% identity.
+        variant.replace_range(10..11, "T");
+        let seqs = vec![dna(base), dna(&variant)];
+        let clusters = greedy_cluster(
+            &seqs,
+            ClusterParams {
+                identity: 0.9,
+                ..ClusterParams::default()
+            },
+        );
+        assert_eq!(clusters.len(), 1, "97.5% identical at t=0.9");
+    }
+
+    #[test]
+    fn representative_is_longest() {
+        let long = "ACGTACGTACGTACGTACGTACGTACGTACGTACGT";
+        let short = &long[..32];
+        let seqs = vec![dna(short), dna(long)];
+        let clusters = greedy_cluster(&seqs, ClusterParams::default());
+        assert_eq!(clusters[0].representative, 1, "longest first");
+    }
+
+    #[test]
+    fn length_ratio_prefilter() {
+        // A very short sequence can never reach 90% identity with a long
+        // representative (global alignment pays the overhang).
+        let seqs = vec![dna("ACGTACGTACGTACGTACGTACGTACGTACGT"), dna("ACGTACGT")];
+        let clusters = greedy_cluster(&seqs, ClusterParams::default());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn kmer_bound_math() {
+        // 32-base sequence, k=8, t=1.0: all 25 words must be shared.
+        assert_eq!(kmer_lower_bound(32, 8, 1.0), 25);
+        // At t=0.9: 3 diffs × 8 = 24 words may vanish.
+        assert_eq!(kmer_lower_bound(32, 8, 0.9), 1);
+        // Low identity: filter disabled (negative bound).
+        assert!(kmer_lower_bound(32, 8, 0.5) < 0);
+    }
+
+    #[test]
+    fn all_members_accounted_for() {
+        let seqs: Vec<Vec<u8>> = (0..10)
+            .map(|i| {
+                let mut s = dna("ACGTACGTACGTACGTACGTACGTACGTACGT");
+                let n = s.len();
+                s[i % n] = (i % 4) as u8;
+                s
+            })
+            .collect();
+        let clusters = greedy_cluster(&seqs, ClusterParams::default());
+        let mut seen: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(greedy_cluster(&[], ClusterParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! FASTA / FASTQ parsing and writing.
+
+use std::fmt;
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub id: String,
+    /// Sequence letters (ASCII, possibly multi-line in the source).
+    pub seq: Vec<u8>,
+}
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header line without the leading `@`.
+    pub id: String,
+    /// Sequence letters (ASCII).
+    pub seq: Vec<u8>,
+    /// Phred+33 quality characters, same length as `seq`.
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Phred quality values (0-based, i.e. ASCII minus 33).
+    pub fn phred(&self) -> Vec<u8> {
+        self.qual.iter().map(|&q| q.saturating_sub(33)).collect()
+    }
+}
+
+/// Errors from the FASTA/FASTQ parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseFastxError {
+    /// Record at this line lacked the expected marker (`>` or `@`).
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A FASTQ record was truncated.
+    Truncated {
+        /// 1-based line number where input ended.
+        line: usize,
+    },
+    /// FASTQ `+` separator missing.
+    MissingPlus {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// FASTQ quality string length mismatch.
+    QualLength {
+        /// 1-based line number of the record header.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseFastxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseFastxError::BadHeader { line } => write!(f, "bad record header at line {line}"),
+            ParseFastxError::Truncated { line } => write!(f, "truncated record at line {line}"),
+            ParseFastxError::MissingPlus { line } => {
+                write!(f, "missing '+' separator at line {line}")
+            }
+            ParseFastxError::QualLength { line } => {
+                write!(f, "quality length mismatch for record at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseFastxError {}
+
+/// Parse FASTA text (multi-line sequences supported).
+///
+/// # Errors
+///
+/// Returns [`ParseFastxError::BadHeader`] if the first non-empty line of a
+/// record does not start with `>`.
+pub fn parse_fasta(text: &str) -> Result<Vec<FastaRecord>, ParseFastxError> {
+    let mut records = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            current = Some(FastaRecord {
+                id: rest.trim().to_string(),
+                seq: Vec::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(rec) => rec.seq.extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
+                None => return Err(ParseFastxError::BadHeader { line: i + 1 }),
+            }
+        }
+    }
+    if let Some(rec) = current {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Write records as FASTA text with lines wrapped at `width` (0 = no wrap).
+pub fn write_fasta(records: &[FastaRecord], width: usize) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push('>');
+        out.push_str(&r.id);
+        out.push('\n');
+        if width == 0 {
+            out.push_str(&String::from_utf8_lossy(&r.seq));
+            out.push('\n');
+        } else {
+            for chunk in r.seq.chunks(width) {
+                out.push_str(&String::from_utf8_lossy(chunk));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Parse FASTQ text (4-line records).
+///
+/// # Errors
+///
+/// Returns a [`ParseFastxError`] describing the first malformed record.
+pub fn parse_fastq(text: &str) -> Result<Vec<FastqRecord>, ParseFastxError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut records = Vec::new();
+    while let Some((i, header)) = lines.next() {
+        let id = header
+            .strip_prefix('@')
+            .ok_or(ParseFastxError::BadHeader { line: i + 1 })?
+            .trim()
+            .to_string();
+        let (_, seq) = lines.next().ok_or(ParseFastxError::Truncated { line: i + 2 })?;
+        let (pi, plus) = lines.next().ok_or(ParseFastxError::Truncated { line: i + 3 })?;
+        if !plus.starts_with('+') {
+            return Err(ParseFastxError::MissingPlus { line: pi + 1 });
+        }
+        let (_, qual) = lines.next().ok_or(ParseFastxError::Truncated { line: i + 4 })?;
+        let seq: Vec<u8> = seq.trim().bytes().collect();
+        let qual: Vec<u8> = qual.trim().bytes().collect();
+        if seq.len() != qual.len() {
+            return Err(ParseFastxError::QualLength { line: i + 1 });
+        }
+        records.push(FastqRecord { id, seq, qual });
+    }
+    Ok(records)
+}
+
+/// Write records as FASTQ text.
+pub fn write_fastq(records: &[FastqRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push('@');
+        out.push_str(&r.id);
+        out.push('\n');
+        out.push_str(&String::from_utf8_lossy(&r.seq));
+        out.push_str("\n+\n");
+        out.push_str(&String::from_utf8_lossy(&r.qual));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_roundtrip() {
+        let recs = vec![
+            FastaRecord {
+                id: "seq1 description".into(),
+                seq: b"ACGTACGTACGT".to_vec(),
+            },
+            FastaRecord {
+                id: "seq2".into(),
+                seq: b"TTTT".to_vec(),
+            },
+        ];
+        let text = write_fasta(&recs, 5);
+        let parsed = parse_fasta(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn fasta_multiline_and_blank_lines() {
+        let text = ">a\nACGT\nACGT\n\n>b\nTT\n";
+        let recs = parse_fasta(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+        assert_eq!(recs[1].seq, b"TT");
+    }
+
+    #[test]
+    fn fasta_rejects_headerless_sequence() {
+        let err = parse_fasta("ACGT\n").unwrap_err();
+        assert_eq!(err, ParseFastxError::BadHeader { line: 1 });
+    }
+
+    #[test]
+    fn fastq_roundtrip() {
+        let recs = vec![FastqRecord {
+            id: "read1".into(),
+            seq: b"ACGT".to_vec(),
+            qual: b"IIII".to_vec(),
+        }];
+        let text = write_fastq(&recs);
+        assert_eq!(parse_fastq(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn fastq_phred_conversion() {
+        let r = FastqRecord {
+            id: "r".into(),
+            seq: b"AC".to_vec(),
+            qual: b"I!".to_vec(), // 'I' = 40, '!' = 0
+        };
+        assert_eq!(r.phred(), vec![40, 0]);
+    }
+
+    #[test]
+    fn fastq_error_cases() {
+        assert!(matches!(
+            parse_fastq("ACGT\n"),
+            Err(ParseFastxError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_fastq("@r\nACGT\n"),
+            Err(ParseFastxError::Truncated { .. })
+        ));
+        assert!(matches!(
+            parse_fastq("@r\nACGT\nXXXX\nIIII\n"),
+            Err(ParseFastxError::MissingPlus { .. })
+        ));
+        assert!(matches!(
+            parse_fastq("@r\nACGT\n+\nII\n"),
+            Err(ParseFastxError::QualLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(parse_fasta("").unwrap().is_empty());
+        assert!(parse_fastq("").unwrap().is_empty());
+    }
+}

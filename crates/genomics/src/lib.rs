@@ -1,0 +1,53 @@
+//! # ggpu-genomics — CPU reference genome-analysis algorithms
+//!
+//! The algorithmic substrate of the Genomics-GPU suite, implemented from
+//! scratch on the CPU. These are both (a) the CPU baselines of the paper's
+//! Figure 2 and (b) the functional oracles the simulated-GPU kernels in
+//! `ggpu-kernels` are validated against:
+//!
+//! * [`align`] — Needleman-Wunsch global (linear/affine/banded),
+//!   Smith-Waterman local, semi-global, and KSW2-style extension alignment
+//!   with z-drop (the SW / NW / GG / GL / GSG / GKSW benchmarks).
+//! * [`msa`] — center-star multiple sequence alignment (STAR).
+//! * [`pairhmm`] — GATK-style Pair-HMM forward algorithm (PairHMM).
+//! * [`cluster`] — greedy incremental alignment-based clustering with a
+//!   short-word filter (CLUSTER / nGIA).
+//! * [`fmindex`] + [`mapper`] — suffix array, BWT, FM-index backward
+//!   search, and a Bowtie2-style seed-and-extend read mapper (NvBowtie).
+//! * [`variant`] — pileups and a genotype caller (variant selection).
+//! * [`io`] — FASTA/FASTQ parsing and writing.
+//! * [`synth`] — synthetic genomes, sequence families and simulated reads
+//!   standing in for the paper's datasets (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod cluster;
+pub mod fmindex;
+pub mod io;
+pub mod mapper;
+pub mod msa;
+pub mod pairhmm;
+pub mod scoring;
+pub mod seq;
+pub mod synth;
+pub mod variant;
+
+pub use align::{
+    ksw_extend, nw_align, nw_align_banded, nw_score, semiglobal_align, semiglobal_score, sw_align,
+    sw_score, Alignment, CigarOp, KswResult,
+};
+pub use cluster::{greedy_cluster, Cluster, ClusterParams};
+pub use fmindex::FmIndex;
+pub use io::{parse_fasta, parse_fastq, write_fasta, write_fastq, FastaRecord, FastqRecord};
+pub use mapper::{MapHit, Mapper, MapperParams};
+pub use msa::{center_star, choose_center, Msa, GAP};
+pub use pairhmm::{phred_to_error, PairHmm};
+pub use scoring::{blosum62_index_matrix, encode_protein, Blosum62, GapModel, IndexedMatrix, Simple, SubstScore};
+pub use seq::{complement, decode_base, encode_base, DnaSeq, ParseSeqError};
+pub use synth::{
+    mutate, random_genome, random_protein, sequence_family, simulate_reads, ReadProfile,
+    SimulatedRead,
+};
+pub use variant::{call_variants, genotype_likelihoods, CallerParams, Genotype, Pileup, Variant};

@@ -1,0 +1,243 @@
+//! Bowtie2-style seed-and-extend read mapper over the FM-index (the CPU
+//! reference for the NvBowtie benchmark): exact-match seeds via backward
+//! search, banded global verification of candidate placements, best-hit
+//! reporting on either strand.
+
+use crate::align::{semiglobal_align, Alignment};
+use crate::fmindex::FmIndex;
+use crate::scoring::{GapModel, Simple};
+use crate::seq::DnaSeq;
+
+/// Mapper parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapperParams {
+    /// Seed length extracted from the read.
+    pub seed_len: usize,
+    /// Offsets between consecutive seeds along the read.
+    pub seed_interval: usize,
+    /// Maximum SA-interval size per seed (repetitive seeds are skipped).
+    pub max_seed_hits: usize,
+    /// Band width for the verification alignment.
+    pub band: usize,
+    /// Minimum accepted alignment score (match=2): reads scoring below are
+    /// unmapped.
+    pub min_score: i32,
+}
+
+impl Default for MapperParams {
+    fn default() -> Self {
+        MapperParams {
+            seed_len: 20,
+            seed_interval: 10,
+            max_seed_hits: 16,
+            band: 8,
+            min_score: 0,
+        }
+    }
+}
+
+/// A read placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapHit {
+    /// Leftmost reference position of the alignment.
+    pub position: usize,
+    /// True when the read aligned as its reverse complement.
+    pub reverse: bool,
+    /// The verification alignment (read vs reference window).
+    pub alignment: Alignment,
+}
+
+/// An FM-index-backed reference ready for mapping.
+#[derive(Debug)]
+pub struct Mapper {
+    reference: DnaSeq,
+    index: FmIndex,
+    params: MapperParams,
+}
+
+impl Mapper {
+    /// Index `reference` for mapping.
+    pub fn new(reference: DnaSeq, params: MapperParams) -> Self {
+        let index = FmIndex::new(&reference);
+        Mapper {
+            reference,
+            index,
+            params,
+        }
+    }
+
+    /// The indexed reference.
+    pub fn reference(&self) -> &DnaSeq {
+        &self.reference
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &MapperParams {
+        &self.params
+    }
+
+    /// Map one read; returns the best-scoring placement, if any reaches
+    /// `min_score`.
+    pub fn map(&self, read: &DnaSeq) -> Option<MapHit> {
+        let fwd = self.map_strand(read, false);
+        let rev = self.map_strand(&read.revcomp(), true);
+        match (fwd, rev) {
+            (Some(f), Some(r)) => Some(if f.alignment.score >= r.alignment.score {
+                f
+            } else {
+                r
+            }),
+            (f, r) => f.or(r),
+        }
+    }
+
+    fn map_strand(&self, read: &DnaSeq, reverse: bool) -> Option<MapHit> {
+        let p = &self.params;
+        let n = read.len();
+        if n == 0 {
+            return None;
+        }
+        let seed_len = p.seed_len.min(n);
+        let subst = Simple::new(2, -3);
+        let gaps = GapModel::Affine { open: 5, extend: 2 };
+
+        let mut best: Option<MapHit> = None;
+        let mut tried: Vec<usize> = Vec::new();
+
+        let mut offset = 0usize;
+        while offset + seed_len <= n {
+            let seed = read.slice(offset, seed_len);
+            let (lo, hi) = self.index.backward_search(seed.codes());
+            let hits = hi.saturating_sub(lo);
+            if hits > 0 && hits <= p.max_seed_hits {
+                for row in lo..hi {
+                    let seed_pos = self.index.locate_row(row);
+                    // Candidate window: read placed so its start aligns to
+                    // seed_pos - offset, padded by the band.
+                    let start = seed_pos.saturating_sub(offset + p.band);
+                    let end = (seed_pos + (n - offset) + p.band).min(self.reference.len());
+                    if end <= start {
+                        continue;
+                    }
+                    if tried.contains(&start) {
+                        continue;
+                    }
+                    tried.push(start);
+                    let window = &self.reference.codes()[start..end];
+                    let aln = semiglobal_align(read.codes(), window, &subst, gaps);
+                    if aln.score >= p.min_score
+                        && best
+                            .as_ref()
+                            .map(|b| aln.score > b.alignment.score)
+                            .unwrap_or(true)
+                    {
+                        best = Some(MapHit {
+                            position: start + aln.target.0,
+                            reverse,
+                            alignment: aln,
+                        });
+                    }
+                }
+            }
+            if offset + seed_len == n {
+                break;
+            }
+            offset = (offset + p.seed_interval).min(n - seed_len);
+        }
+        best
+    }
+
+    /// Map a batch of reads; `None` entries are unmapped.
+    pub fn map_all(&self, reads: &[DnaSeq]) -> Vec<Option<MapHit>> {
+        reads.iter().map(|r| self.map(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{random_genome, simulate_reads, ReadProfile};
+    use rand::SeedableRng;
+
+    fn mapper_with_genome(len: usize, seed: u64) -> (Mapper, DnaSeq) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let genome = random_genome(len, &mut rng);
+        (
+            Mapper::new(genome.clone(), MapperParams::default()),
+            genome,
+        )
+    }
+
+    #[test]
+    fn exact_read_maps_to_origin() {
+        let (mapper, genome) = mapper_with_genome(2000, 11);
+        let read = genome.slice(512, 80);
+        let hit = mapper.map(&read).expect("exact read must map");
+        assert_eq!(hit.position, 512);
+        assert!(!hit.reverse);
+        assert_eq!(hit.alignment.score, 160);
+    }
+
+    #[test]
+    fn reverse_complement_read_maps() {
+        let (mapper, genome) = mapper_with_genome(2000, 12);
+        let read = genome.slice(700, 60).revcomp();
+        let hit = mapper.map(&read).expect("revcomp read must map");
+        assert_eq!(hit.position, 700);
+        assert!(hit.reverse);
+    }
+
+    #[test]
+    fn read_with_mismatches_maps_near_origin() {
+        let (mapper, genome) = mapper_with_genome(4000, 13);
+        let mut codes = genome.slice(1000, 100).codes().to_vec();
+        codes[50] = (codes[50] + 1) % 4;
+        codes[80] = (codes[80] + 2) % 4;
+        let read = DnaSeq::from_codes(codes);
+        let hit = mapper.map(&read).expect("2-mismatch read must map");
+        assert_eq!(hit.position, 1000);
+        assert_eq!(hit.alignment.score, 98 * 2 - 2 * 3);
+    }
+
+    #[test]
+    fn garbage_read_is_unmapped() {
+        let (mapper, _) = mapper_with_genome(2000, 14);
+        // Homopolymer unlikely to have a 20-mer exact hit in random DNA.
+        let read: DnaSeq = "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA".parse().unwrap();
+        let mut params = MapperParams::default();
+        params.min_score = 40;
+        let mapper2 = Mapper::new(mapper.reference().clone(), params);
+        assert!(mapper2.map(&read).is_none());
+    }
+
+    #[test]
+    fn simulated_reads_mostly_map_to_truth() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let genome = random_genome(20_000, &mut rng);
+        let profile = ReadProfile {
+            length: 100,
+            sub_rate: 0.01,
+            ..ReadProfile::default()
+        };
+        let reads = simulate_reads(&genome, 50, profile, &mut rng);
+        let mapper = Mapper::new(genome, MapperParams::default());
+        let mut correct = 0;
+        for r in &reads {
+            if let Some(hit) = mapper.map(&r.seq) {
+                if hit.position.abs_diff(r.origin) <= 5 && hit.reverse == r.reverse {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct >= 45,
+            "expected >=45/50 reads mapped to the truth, got {correct}"
+        );
+    }
+
+    #[test]
+    fn empty_read_is_unmapped() {
+        let (mapper, _) = mapper_with_genome(1000, 15);
+        assert!(mapper.map(&DnaSeq::new()).is_none());
+    }
+}

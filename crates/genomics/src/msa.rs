@@ -1,0 +1,319 @@
+//! Center-star multiple sequence alignment (the STAR benchmark's
+//! algorithm): pick the sequence with the best total pairwise score as the
+//! center, align every other sequence to it, and merge the pairwise
+//! alignments into one gapped matrix.
+
+use crate::align::{nw_align, nw_score, CigarOp};
+use crate::scoring::{GapModel, SubstScore};
+
+/// Gap symbol in MSA rows (distinct from all sequence codes).
+pub const GAP: u8 = 0xFF;
+
+/// A finished multiple alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msa {
+    /// Index of the center sequence in the input slice.
+    pub center: usize,
+    /// One gapped row per input sequence (same order as the input); every
+    /// row has equal length and uses [`GAP`] for gaps.
+    pub rows: Vec<Vec<u8>>,
+}
+
+impl Msa {
+    /// Number of alignment columns.
+    pub fn columns(&self) -> usize {
+        self.rows.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Sum-of-pairs score of the alignment under `subst`, charging
+    /// `gap_penalty` per symbol-against-gap column pair (gap-gap pairs are
+    /// free).
+    pub fn sp_score(&self, subst: &impl SubstScore, gap_penalty: i32) -> i64 {
+        let cols = self.columns();
+        let mut total = 0i64;
+        for c in 0..cols {
+            for a in 0..self.rows.len() {
+                for b in a + 1..self.rows.len() {
+                    let (x, y) = (self.rows[a][c], self.rows[b][c]);
+                    total += match (x == GAP, y == GAP) {
+                        (false, false) => subst.score(x, y) as i64,
+                        (true, true) => 0,
+                        _ => -(gap_penalty as i64),
+                    };
+                }
+            }
+        }
+        total
+    }
+
+    /// Majority-vote consensus (gaps excluded; ties broken by smaller
+    /// symbol). Columns that are all-gap are skipped.
+    pub fn consensus(&self) -> Vec<u8> {
+        let cols = self.columns();
+        let mut out = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let mut counts = std::collections::BTreeMap::new();
+            for row in &self.rows {
+                if row[c] != GAP {
+                    *counts.entry(row[c]).or_insert(0usize) += 1;
+                }
+            }
+            if let Some((&sym, _)) = counts.iter().max_by_key(|(_, &n)| n) {
+                out.push(sym);
+            }
+        }
+        out
+    }
+
+    /// Render rows as strings using `decode` for symbols and `-` for gaps.
+    pub fn to_strings(&self, decode: impl Fn(u8) -> char) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|&c| if c == GAP { '-' } else { decode(c) })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Choose the center sequence: the one maximizing the sum of pairwise
+/// global-alignment scores against all others.
+pub fn choose_center(seqs: &[Vec<u8>], subst: &impl SubstScore, gaps: GapModel) -> usize {
+    let n = seqs.len();
+    let mut sums = vec![0i64; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let s = nw_score(&seqs[i], &seqs[j], subst, gaps) as i64;
+            sums[i] += s;
+            sums[j] += s;
+        }
+    }
+    sums.iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Run the center-star algorithm over `seqs`.
+///
+/// # Panics
+///
+/// Panics if `seqs` is empty.
+pub fn center_star(seqs: &[Vec<u8>], subst: &impl SubstScore, gaps: GapModel) -> Msa {
+    assert!(!seqs.is_empty(), "MSA needs at least one sequence");
+    if seqs.len() == 1 {
+        return Msa {
+            center: 0,
+            rows: vec![seqs[0].clone()],
+        };
+    }
+    let center = choose_center(seqs, subst, gaps);
+    let c = &seqs[center];
+
+    // Pairwise alignments of each sequence (query) to the center (target).
+    let alns: Vec<_> = seqs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if i == center {
+                None
+            } else {
+                Some(nw_align(s, c, subst, gaps))
+            }
+        })
+        .collect();
+
+    // gaps_before[j]: maximum run of center-gaps (query insertions) any
+    // alignment needs before center position j (j in 0..=len).
+    let mut gaps_before = vec![0u32; c.len() + 1];
+    for aln in alns.iter().flatten() {
+        let mut j = 0usize;
+        let mut run = 0u32;
+        for &(op, n) in &aln.cigar {
+            match op {
+                CigarOp::Ins => run += n,
+                CigarOp::Match | CigarOp::Del => {
+                    gaps_before[j] = gaps_before[j].max(run);
+                    run = 0;
+                    j += n as usize;
+                }
+            }
+        }
+        gaps_before[j] = gaps_before[j].max(run);
+    }
+
+    // Re-emit every row against the master gap pattern.
+    let mut rows = vec![Vec::new(); seqs.len()];
+    for (i, seq) in seqs.iter().enumerate() {
+        let row = &mut rows[i];
+        if i == center {
+            for (j, &sym) in c.iter().enumerate() {
+                for _ in 0..gaps_before[j] {
+                    row.push(GAP);
+                }
+                row.push(sym);
+            }
+            for _ in 0..gaps_before[c.len()] {
+                row.push(GAP);
+            }
+            continue;
+        }
+        let aln = alns[i].as_ref().expect("non-center rows have alignments");
+        let mut qi = 0usize; // position in seq
+        let mut j = 0usize; // center position
+        // Flatten the CIGAR into per-column ops, consuming the master gap
+        // budget before each center position.
+        let mut flat: Vec<CigarOp> = Vec::new();
+        for &(op, n) in &aln.cigar {
+            for _ in 0..n {
+                flat.push(op);
+            }
+        }
+        let mut fi = 0usize;
+        while j <= c.len() {
+            // Count this alignment's insertions before center position j.
+            let mut pending_ins: u32 = 0;
+            while fi < flat.len() && flat[fi] == CigarOp::Ins {
+                pending_ins += 1;
+                fi += 1;
+            }
+            let budget = gaps_before[j];
+            // Emit this row's own inserted symbols, padded to the budget.
+            for _ in 0..pending_ins {
+                row.push(seq[qi]);
+                qi += 1;
+            }
+            for _ in pending_ins..budget {
+                row.push(GAP);
+            }
+            if j == c.len() {
+                break;
+            }
+            // Column for center position j.
+            match flat.get(fi) {
+                Some(CigarOp::Match) => {
+                    row.push(seq[qi]);
+                    qi += 1;
+                    fi += 1;
+                }
+                Some(CigarOp::Del) => {
+                    row.push(GAP);
+                    fi += 1;
+                }
+                _ => row.push(GAP),
+            }
+            j += 1;
+        }
+    }
+
+    debug_assert!(rows.iter().all(|r| r.len() == rows[0].len()));
+    Msa { center, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::Simple;
+    use crate::seq::DnaSeq;
+
+    fn dna(s: &str) -> Vec<u8> {
+        s.parse::<DnaSeq>().unwrap().codes().to_vec()
+    }
+
+    const SUB: Simple = Simple {
+        matches: 2,
+        mismatch: -3,
+    };
+    const GAPS: GapModel = GapModel::Affine { open: 5, extend: 2 };
+
+    fn degap(row: &[u8]) -> Vec<u8> {
+        row.iter().copied().filter(|&c| c != GAP).collect()
+    }
+
+    #[test]
+    fn identical_sequences_align_trivially() {
+        let seqs = vec![dna("ACGTACGT"), dna("ACGTACGT"), dna("ACGTACGT")];
+        let msa = center_star(&seqs, &SUB, GAPS);
+        assert_eq!(msa.columns(), 8);
+        for row in &msa.rows {
+            assert_eq!(row, &dna("ACGTACGT"));
+        }
+    }
+
+    #[test]
+    fn rows_preserve_sequences() {
+        let seqs = vec![
+            dna("ACGTACGTAC"),
+            dna("ACGTCGTAC"),  // one deletion
+            dna("ACGTAACGTAC"), // one insertion
+            dna("ACGTACGTGC"), // one substitution
+        ];
+        let msa = center_star(&seqs, &SUB, GAPS);
+        for (i, row) in msa.rows.iter().enumerate() {
+            assert_eq!(degap(row), seqs[i], "row {i} must de-gap to its input");
+        }
+        // All rows equal length.
+        let cols = msa.columns();
+        assert!(msa.rows.iter().all(|r| r.len() == cols));
+        assert!(cols >= 11, "must fit the longest sequence");
+    }
+
+    #[test]
+    fn center_is_most_similar() {
+        // Three similar sequences and one outlier: center must not be the
+        // outlier.
+        let seqs = vec![
+            dna("ACGTACGTACGTACGT"),
+            dna("ACGTACGAACGTACGT"),
+            dna("ACGTACGTACGTACGA"),
+            dna("TTTTTTTTTTTTTTTT"),
+        ];
+        let c = choose_center(&seqs, &SUB, GAPS);
+        assert_ne!(c, 3);
+    }
+
+    #[test]
+    fn consensus_of_snp_pile() {
+        let seqs = vec![
+            dna("ACGTACGT"),
+            dna("ACGTACGT"),
+            dna("ACTTACGT"), // SNP at position 2 in one sequence
+        ];
+        let msa = center_star(&seqs, &SUB, GAPS);
+        assert_eq!(msa.consensus(), dna("ACGTACGT"));
+    }
+
+    #[test]
+    fn sp_score_prefers_similar_sets() {
+        let similar = vec![dna("ACGTACGT"), dna("ACGTACGT"), dna("ACGTACGA")];
+        let diverse = vec![dna("ACGTACGT"), dna("TTGCATGC"), dna("GGGGCCCC")];
+        let m1 = center_star(&similar, &SUB, GAPS);
+        let m2 = center_star(&diverse, &SUB, GAPS);
+        assert!(m1.sp_score(&SUB, 4) > m2.sp_score(&SUB, 4));
+    }
+
+    #[test]
+    fn single_sequence() {
+        let msa = center_star(&[dna("ACGT")], &SUB, GAPS);
+        assert_eq!(msa.columns(), 4);
+        assert_eq!(msa.center, 0);
+    }
+
+    #[test]
+    fn to_strings_renders_gaps() {
+        let seqs = vec![dna("ACGT"), dna("AGT")];
+        let msa = center_star(&seqs, &SUB, GAPS);
+        let strs = msa.to_strings(|c| crate::seq::decode_base(c) as char);
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].contains('-'), "{strs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sequence")]
+    fn empty_input_panics() {
+        let _ = center_star(&[], &SUB, GAPS);
+    }
+}

@@ -1,0 +1,244 @@
+//! Substitution scoring and gap penalty models.
+
+/// Substitution scorer over sequence symbols (2-bit DNA codes or ASCII
+/// amino acids, depending on the implementation).
+pub trait SubstScore {
+    /// Score of aligning symbol `a` against symbol `b`.
+    fn score(&self, a: u8, b: u8) -> i32;
+}
+
+/// Simple match/mismatch scoring (DNA-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Simple {
+    /// Score for `a == b`.
+    pub matches: i32,
+    /// Score for `a != b` (typically negative).
+    pub mismatch: i32,
+}
+
+impl Simple {
+    /// The GASAL2 / KSW2 default: +1 / -4... scaled variant +2/-3 is also
+    /// common; this constructor takes both explicitly.
+    pub fn new(matches: i32, mismatch: i32) -> Self {
+        Simple { matches, mismatch }
+    }
+}
+
+impl Default for Simple {
+    /// match=+2, mismatch=-3 (BWA-ish defaults).
+    fn default() -> Self {
+        Simple {
+            matches: 2,
+            mismatch: -3,
+        }
+    }
+}
+
+impl SubstScore for Simple {
+    #[inline]
+    fn score(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.matches
+        } else {
+            self.mismatch
+        }
+    }
+}
+
+/// Gap penalty model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapModel {
+    /// Cost `penalty` per gapped base (penalty is positive; subtracted).
+    Linear {
+        /// Per-base gap cost (positive).
+        penalty: i32,
+    },
+    /// Affine `open + extend * len` (both positive; subtracted).
+    Affine {
+        /// Cost to open a gap (positive).
+        open: i32,
+        /// Cost per gapped base (positive).
+        extend: i32,
+    },
+}
+
+impl GapModel {
+    /// Total penalty (positive) for a gap of `len` bases.
+    pub fn cost(&self, len: u32) -> i32 {
+        match *self {
+            GapModel::Linear { penalty } => penalty * len as i32,
+            GapModel::Affine { open, extend } => {
+                if len == 0 {
+                    0
+                } else {
+                    open + extend * len as i32
+                }
+            }
+        }
+    }
+}
+
+impl Default for GapModel {
+    /// Affine open=5, extend=2 (common NGS defaults).
+    fn default() -> Self {
+        GapModel::Affine { open: 5, extend: 2 }
+    }
+}
+
+/// BLOSUM62 amino-acid substitution matrix (indexed by ASCII residues).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Blosum62;
+
+/// Residue order of the packed BLOSUM62 table.
+const B62_ORDER: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+/// Packed 20×20 BLOSUM62 scores in `B62_ORDER` order.
+#[rustfmt::skip]
+const B62: [[i8; 20]; 20] = [
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0], // A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3], // R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3], // N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3], // D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1], // C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2], // Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2], // E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3], // G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3], // H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3], // I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1], // L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2], // K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1], // M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1], // F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2], // P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2], // S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0], // T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3], // W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1], // Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4], // V
+];
+
+fn b62_index(c: u8) -> Option<usize> {
+    B62_ORDER.iter().position(|&x| x == c.to_ascii_uppercase())
+}
+
+/// The BLOSUM62 table indexed by residue *indices* (0..20 in
+/// [`crate::seq::PROTEIN_ALPHABET`] order) rather than ASCII — the encoding
+/// shared with the GPU kernels, whose constant memory holds this matrix.
+pub fn blosum62_index_matrix() -> [[i8; 20]; 20] {
+    B62
+}
+
+/// Substitution scorer over index-encoded residues (0..20), backed by an
+/// explicit matrix. Out-of-range symbols score the `default` penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexedMatrix {
+    /// The 20×20 score table.
+    pub table: [[i8; 20]; 20],
+    /// Score for any symbol outside 0..20.
+    pub default: i32,
+}
+
+impl IndexedMatrix {
+    /// BLOSUM62 over index-encoded residues.
+    pub fn blosum62() -> Self {
+        IndexedMatrix {
+            table: B62,
+            default: -1,
+        }
+    }
+}
+
+impl SubstScore for IndexedMatrix {
+    fn score(&self, a: u8, b: u8) -> i32 {
+        match (self.table.get(a as usize), b) {
+            (Some(row), b) if (b as usize) < 20 => row[b as usize] as i32,
+            _ => self.default,
+        }
+    }
+}
+
+/// Encode an ASCII protein sequence to residue indices; unknown residues
+/// map to index 0.
+pub fn encode_protein(ascii: &[u8]) -> Vec<u8> {
+    ascii
+        .iter()
+        .map(|&c| b62_index(c).unwrap_or(0) as u8)
+        .collect()
+}
+
+impl SubstScore for Blosum62 {
+    fn score(&self, a: u8, b: u8) -> i32 {
+        match (b62_index(a), b62_index(b)) {
+            (Some(i), Some(j)) => B62[i][j] as i32,
+            // Unknown residues (X, B, Z, ...) get a flat mild penalty.
+            _ => -1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_scoring() {
+        let s = Simple::new(1, -4);
+        assert_eq!(s.score(0, 0), 1);
+        assert_eq!(s.score(0, 3), -4);
+    }
+
+    #[test]
+    fn gap_costs() {
+        assert_eq!(GapModel::Linear { penalty: 2 }.cost(3), 6);
+        let affine = GapModel::Affine { open: 5, extend: 2 };
+        assert_eq!(affine.cost(0), 0);
+        assert_eq!(affine.cost(1), 7);
+        assert_eq!(affine.cost(4), 13);
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        let m = Blosum62;
+        for &a in B62_ORDER {
+            for &b in B62_ORDER {
+                assert_eq!(m.score(a, b), m.score(b, a), "{} vs {}", a as char, b as char);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matrix_matches_ascii_blosum() {
+        let by_ascii = Blosum62;
+        let by_index = IndexedMatrix::blosum62();
+        for (i, &a) in B62_ORDER.iter().enumerate() {
+            for (j, &b) in B62_ORDER.iter().enumerate() {
+                assert_eq!(
+                    by_ascii.score(a, b),
+                    by_index.score(i as u8, j as u8),
+                    "{} vs {}",
+                    a as char,
+                    b as char
+                );
+            }
+        }
+        assert_eq!(by_index.score(25, 0), -1, "out of range uses default");
+    }
+
+    #[test]
+    fn encode_protein_roundtrip() {
+        let idx = encode_protein(b"ARNDV");
+        assert_eq!(idx, vec![0, 1, 2, 3, 19]);
+        assert_eq!(encode_protein(b"?"), vec![0]);
+    }
+
+    #[test]
+    fn blosum62_spot_checks() {
+        let m = Blosum62;
+        assert_eq!(m.score(b'W', b'W'), 11);
+        assert_eq!(m.score(b'A', b'A'), 4);
+        assert_eq!(m.score(b'A', b'R'), -1);
+        assert_eq!(m.score(b'w', b'w'), 11, "case-insensitive");
+        assert_eq!(m.score(b'X', b'A'), -1, "unknown residue");
+    }
+}

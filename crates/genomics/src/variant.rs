@@ -1,0 +1,298 @@
+//! Variant selection: pileup construction and a simple genotype caller —
+//! the "variant selection" algorithm family the paper lists among the
+//! suite's coverage, and the downstream consumer of the Pair-HMM scores.
+
+use crate::pairhmm::PairHmm;
+use crate::seq::DnaSeq;
+
+/// Per-position base counts over a reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pileup {
+    counts: Vec<[u32; 4]>,
+}
+
+impl Pileup {
+    /// Empty pileup over a reference of `len` bases.
+    pub fn new(len: usize) -> Self {
+        Pileup {
+            counts: vec![[0; 4]; len],
+        }
+    }
+
+    /// Add one aligned read: `seq` (2-bit codes) placed at `pos` on the
+    /// forward reference (gapless placement; bases running off the end are
+    /// ignored).
+    pub fn add_read(&mut self, pos: usize, seq: &[u8]) {
+        for (i, &c) in seq.iter().enumerate() {
+            if let Some(slot) = self.counts.get_mut(pos + i) {
+                slot[c as usize] += 1;
+            }
+        }
+    }
+
+    /// Base counts at `pos` (`[A, C, G, T]`).
+    pub fn counts(&self, pos: usize) -> [u32; 4] {
+        self.counts.get(pos).copied().unwrap_or([0; 4])
+    }
+
+    /// Total depth at `pos`.
+    pub fn depth(&self, pos: usize) -> u32 {
+        self.counts(pos).iter().sum()
+    }
+
+    /// Reference length covered.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the pileup covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// Diploid genotype at a biallelic site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Genotype {
+    /// Homozygous reference (0/0).
+    HomRef,
+    /// Heterozygous (0/1).
+    Het,
+    /// Homozygous alternate (1/1).
+    HomAlt,
+}
+
+impl std::fmt::Display for Genotype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Genotype::HomRef => "0/0",
+            Genotype::Het => "0/1",
+            Genotype::HomAlt => "1/1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One called variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variant {
+    /// 0-based reference position.
+    pub pos: usize,
+    /// Reference base (2-bit code).
+    pub ref_base: u8,
+    /// Alternate base (2-bit code).
+    pub alt_base: u8,
+    /// Read depth at the site.
+    pub depth: u32,
+    /// Reads supporting the alternate allele.
+    pub alt_count: u32,
+    /// Called genotype.
+    pub genotype: Genotype,
+}
+
+/// Caller thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallerParams {
+    /// Minimum read depth to call a site.
+    pub min_depth: u32,
+    /// Minimum alternate-allele fraction to emit a variant.
+    pub min_alt_fraction: f64,
+    /// Alternate fraction above which the call is homozygous alt.
+    pub hom_alt_fraction: f64,
+}
+
+impl Default for CallerParams {
+    fn default() -> Self {
+        CallerParams {
+            min_depth: 4,
+            min_alt_fraction: 0.2,
+            hom_alt_fraction: 0.8,
+        }
+    }
+}
+
+/// Call variants from a pileup against the reference.
+pub fn call_variants(reference: &DnaSeq, pileup: &Pileup, params: CallerParams) -> Vec<Variant> {
+    let mut out = Vec::new();
+    for (pos, &ref_base) in reference.codes().iter().enumerate() {
+        let counts = pileup.counts(pos);
+        let depth: u32 = counts.iter().sum();
+        if depth < params.min_depth {
+            continue;
+        }
+        // Strongest non-reference allele.
+        let (alt_base, alt_count) = counts
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| b as u8 != ref_base)
+            .max_by_key(|&(_, &n)| n)
+            .map(|(b, &n)| (b as u8, n))
+            .unwrap_or((ref_base, 0));
+        let frac = alt_count as f64 / depth as f64;
+        if frac < params.min_alt_fraction {
+            continue;
+        }
+        let genotype = if frac >= params.hom_alt_fraction {
+            Genotype::HomAlt
+        } else {
+            Genotype::Het
+        };
+        out.push(Variant {
+            pos,
+            ref_base,
+            alt_base,
+            depth,
+            alt_count,
+            genotype,
+        });
+    }
+    out
+}
+
+/// Pair-HMM genotype likelihoods at a candidate site: `log10` likelihood
+/// of the covering reads under the reference haplotype and under the
+/// alternate haplotype (the GATK-style refinement of a pileup call).
+///
+/// `reads` are `(sequence, quals, leftmost position)` placements; only
+/// reads overlapping `pos` contribute. Returns `(lk_ref, lk_alt, n_used)`.
+pub fn genotype_likelihoods(
+    reference: &DnaSeq,
+    reads: &[(Vec<u8>, Vec<u8>, usize)],
+    pos: usize,
+    alt_base: u8,
+    window: usize,
+    hmm: &PairHmm,
+) -> (f64, f64, usize) {
+    let lo = pos.saturating_sub(window);
+    let hi = (pos + window).min(reference.len());
+    let hap_ref: Vec<u8> = reference.codes()[lo..hi].to_vec();
+    let mut hap_alt = hap_ref.clone();
+    hap_alt[pos - lo] = alt_base;
+    let (mut lk_ref, mut lk_alt, mut used) = (0.0, 0.0, 0);
+    for (seq, quals, rpos) in reads {
+        if *rpos > pos || rpos + seq.len() <= pos {
+            continue;
+        }
+        lk_ref += hmm.forward(seq, quals, &hap_ref);
+        lk_alt += hmm.forward(seq, quals, &hap_alt);
+        used += 1;
+    }
+    (lk_ref, lk_alt, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::random_genome;
+    use rand::SeedableRng;
+
+    fn reference(len: usize) -> DnaSeq {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        random_genome(len, &mut rng)
+    }
+
+    #[test]
+    fn pileup_counts_reads() {
+        let mut p = Pileup::new(10);
+        p.add_read(2, &[0, 1, 2]);
+        p.add_read(3, &[1, 2]);
+        assert_eq!(p.counts(2), [1, 0, 0, 0]);
+        assert_eq!(p.counts(3), [0, 2, 0, 0]);
+        assert_eq!(p.counts(4), [0, 0, 2, 0]);
+        assert_eq!(p.depth(3), 2);
+        // Off-the-end bases are dropped.
+        p.add_read(9, &[3, 3, 3]);
+        assert_eq!(p.depth(9), 1);
+    }
+
+    #[test]
+    fn calls_homozygous_snp() {
+        let r = reference(50);
+        let mut p = Pileup::new(50);
+        let snp = 20usize;
+        let alt = (r.codes()[snp] + 1) % 4;
+        for _ in 0..10 {
+            let mut read = r.slice(15, 10).codes().to_vec();
+            read[snp - 15] = alt;
+            p.add_read(15, &read);
+        }
+        let vars = call_variants(&r, &p, CallerParams::default());
+        assert_eq!(vars.len(), 1, "exactly the planted SNP: {vars:?}");
+        let v = vars[0];
+        assert_eq!(v.pos, snp);
+        assert_eq!(v.alt_base, alt);
+        assert_eq!(v.genotype, Genotype::HomAlt);
+        assert_eq!(v.depth, 10);
+        assert_eq!(v.alt_count, 10);
+    }
+
+    #[test]
+    fn calls_heterozygous_snp() {
+        let r = reference(50);
+        let mut p = Pileup::new(50);
+        let snp = 20usize;
+        let alt = (r.codes()[snp] + 2) % 4;
+        for i in 0..10 {
+            let mut read = r.slice(15, 10).codes().to_vec();
+            if i % 2 == 0 {
+                read[snp - 15] = alt;
+            }
+            p.add_read(15, &read);
+        }
+        let vars = call_variants(&r, &p, CallerParams::default());
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars[0].genotype, Genotype::Het);
+        assert_eq!(vars[0].alt_count, 5);
+    }
+
+    #[test]
+    fn low_depth_and_noise_are_filtered() {
+        let r = reference(50);
+        let mut p = Pileup::new(50);
+        // Depth 2 < min_depth 4.
+        p.add_read(10, &[(r.codes()[10] + 1) % 4]);
+        p.add_read(10, &[(r.codes()[10] + 1) % 4]);
+        // Depth 10 but only 1 alt read (10% < 20%).
+        for i in 0..10 {
+            let base = if i == 0 {
+                (r.codes()[30] + 1) % 4
+            } else {
+                r.codes()[30]
+            };
+            p.add_read(30, &[base]);
+        }
+        assert!(call_variants(&r, &p, CallerParams::default()).is_empty());
+    }
+
+    #[test]
+    fn genotype_likelihoods_prefer_truth() {
+        let r = reference(200);
+        let pos = 100usize;
+        let alt = (r.codes()[pos] + 1) % 4;
+        let hmm = PairHmm::default();
+        // Reads carrying the alt allele.
+        let mut reads = Vec::new();
+        for start in [90usize, 95] {
+            let mut seq = r.slice(start, 20).codes().to_vec();
+            seq[pos - start] = alt;
+            reads.push((seq, vec![35u8; 20], start));
+        }
+        let (lk_ref, lk_alt, used) = genotype_likelihoods(&r, &reads, pos, alt, 15, &hmm);
+        assert_eq!(used, 2);
+        assert!(lk_alt > lk_ref, "alt reads favour the alt haplotype");
+        // Reads carrying the reference allele.
+        let ref_reads: Vec<_> = [90usize, 95]
+            .iter()
+            .map(|&s| (r.slice(s, 20).codes().to_vec(), vec![35u8; 20], s))
+            .collect();
+        let (lk_ref2, lk_alt2, _) = genotype_likelihoods(&r, &ref_reads, pos, alt, 15, &hmm);
+        assert!(lk_ref2 > lk_alt2);
+    }
+
+    #[test]
+    fn genotype_display() {
+        assert_eq!(Genotype::Het.to_string(), "0/1");
+        assert_eq!(Genotype::HomAlt.to_string(), "1/1");
+        assert_eq!(Genotype::HomRef.to_string(), "0/0");
+    }
+}

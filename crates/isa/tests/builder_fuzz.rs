@@ -1,0 +1,77 @@
+//! Property tests: randomly nested structured control flow always produces
+//! kernels that validate, with well-formed forward reconvergence points.
+
+use ggpu_isa::{CmpOp, Instr, KernelBuilder, Operand, Reg};
+use proptest::prelude::*;
+
+/// A small recursive program shape.
+#[derive(Debug, Clone)]
+enum Shape {
+    Straight(u8),
+    If(Box<Shape>),
+    IfElse(Box<Shape>, Box<Shape>),
+    While(Box<Shape>),
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    let leaf = (1u8..5).prop_map(Shape::Straight);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|s| Shape::If(Box::new(s))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Shape::IfElse(Box::new(a), Box::new(b))),
+            inner.prop_map(|s| Shape::While(Box::new(s))),
+        ]
+    })
+}
+
+fn emit(b: &mut KernelBuilder, s: &Shape, acc: Reg, depth: u8) {
+    match s {
+        Shape::Straight(n) => {
+            for _ in 0..*n {
+                b.iadd(acc, acc, Operand::imm(1));
+            }
+        }
+        Shape::If(inner) => {
+            let p = b.cmp_s(CmpOp::Lt, Operand::reg(acc), Operand::imm(1000));
+            let inner = inner.clone();
+            b.if_then(p, move |b| emit(b, &inner, acc, depth + 1));
+        }
+        Shape::IfElse(a, bb) => {
+            let p = b.cmp_s(CmpOp::Ge, Operand::reg(acc), Operand::imm(0));
+            let (a, bb) = (a.clone(), bb.clone());
+            b.if_then_else(
+                p,
+                move |bl| emit(bl, &a, acc, depth + 1),
+                move |bl| emit(bl, &bb, acc, depth + 1),
+            );
+        }
+        Shape::While(inner) => {
+            let inner = inner.clone();
+            b.for_range(Operand::imm(0), Operand::imm(3), 1, move |b, _i| {
+                emit(b, &inner, acc, depth + 1)
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_structured_kernels_validate(s in shape()) {
+        let mut b = KernelBuilder::new("fuzz");
+        let acc = b.reg();
+        b.mov(acc, Operand::imm(0));
+        emit(&mut b, &s, acc, 0);
+        b.exit();
+        let k = b.finish();
+        prop_assert!(k.validate().is_ok(), "{:?}:\n{}", s, k.disassemble());
+        for (pc, instr) in k.instrs.iter().enumerate() {
+            if let Instr::Bra { pred: Some(_), reconv, .. } = instr {
+                prop_assert!(*reconv > pc, "reconv must be forward at pc {pc}");
+                prop_assert!(*reconv <= k.instrs.len());
+            }
+        }
+    }
+}

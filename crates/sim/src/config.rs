@@ -1,0 +1,153 @@
+//! Whole-GPU configuration (Tables I and II) with the RTX 3070 baseline.
+
+use ggpu_icnt::IcntConfig;
+use ggpu_mem::{CacheConfig, DramConfig, WritePolicy};
+use ggpu_sm::SmConfig;
+
+/// Host-to-device interconnect (PCIe) model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieConfig {
+    /// Fixed per-transfer latency in GPU cycles (driver + DMA setup).
+    pub latency: u64,
+    /// Transfer bandwidth in bytes per GPU cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl Default for PcieConfig {
+    /// ~PCIe 4.0 x16 at a 1.5 GHz GPU clock.
+    fn default() -> Self {
+        PcieConfig {
+            latency: 2_000,
+            bytes_per_cycle: 12.0,
+        }
+    }
+}
+
+/// Full GPU configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of SMs ("shader cores" in Table I; 78 in the paper's setup).
+    pub n_sms: usize,
+    /// Number of memory partitions (L2 slice + DRAM channel each).
+    pub n_partitions: usize,
+    /// Per-SM configuration.
+    pub sm: SmConfig,
+    /// Per-partition L2 slice geometry (total L2 = slice × partitions).
+    pub l2_slice: CacheConfig,
+    /// Per-partition DRAM channel.
+    pub dram: DramConfig,
+    /// Interconnect configuration (shared by request and reply networks).
+    pub icnt: IcntConfig,
+    /// L2 access latency in cycles.
+    pub l2_latency: u64,
+    /// Host-side kernel-launch overhead in cycles (driver + setup); burned
+    /// before each grid's CTAs begin dispatching.
+    pub kernel_launch_overhead: u64,
+    /// Device-side (CDP) child-launch overhead in cycles.
+    pub cdp_launch_overhead: u64,
+    /// Flush L1/L2 between host kernel launches, modelling the locality
+    /// loss across `cudaMemcpy` boundaries the paper describes in §IV-G.
+    pub flush_between_kernels: bool,
+    /// PCIe model.
+    pub pcie: PcieConfig,
+    /// GPU clock in GHz, used only to convert cycles to seconds in reports.
+    pub clock_ghz: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::rtx3070()
+    }
+}
+
+impl GpuConfig {
+    /// The paper's baseline: RTX 3070 per Table I (78 shader cores, 128KB
+    /// L1, 4MB L2, FR-FCFS, local crossbar, 40B flits).
+    pub fn rtx3070() -> Self {
+        GpuConfig {
+            n_sms: 78,
+            n_partitions: 8,
+            sm: SmConfig::default(),
+            // 4MB / 8 partitions = 512KB per slice, 16-way. Write-through keeps
+            // the store path simple (stores stream to DRAM, loads allocate).
+            l2_slice: CacheConfig::new(512 * 1024, 16, WritePolicy::WriteThrough),
+            dram: DramConfig::default(),
+            icnt: IcntConfig::default(),
+            l2_latency: 90,
+            kernel_launch_overhead: 3_000,
+            cdp_launch_overhead: 500,
+            flush_between_kernels: true,
+            pcie: PcieConfig::default(),
+            clock_ghz: 1.5,
+        }
+    }
+
+    /// A small configuration for fast unit tests (4 SMs, 2 partitions).
+    pub fn test_small() -> Self {
+        GpuConfig {
+            n_sms: 4,
+            n_partitions: 2,
+            kernel_launch_overhead: 100,
+            cdp_launch_overhead: 50,
+            ..Self::rtx3070()
+        }
+    }
+
+    /// Set total L1 (per SM) and total L2 sizes, keeping geometry rules from
+    /// Table I (the Figure 12-14 cache sweep).
+    pub fn with_cache_sizes(mut self, l1_bytes: u64, l2_total_bytes: u64) -> Self {
+        self.sm.l1.bytes = l1_bytes;
+        self.l2_slice.bytes = l2_total_bytes / self.n_partitions as u64;
+        self
+    }
+
+    /// Scale SM resources (CTAs, threads, registers, shared memory) to
+    /// `percent` of the baseline — the Figure 11 CTA sweep.
+    pub fn with_cta_scale(mut self, percent: u32) -> Self {
+        let base = SmConfig::default();
+        self.sm.max_ctas = (base.max_ctas * percent / 100).max(1);
+        self.sm.max_threads = (base.max_threads * percent / 100).max(32);
+        self.sm.registers = (base.registers * percent / 100).max(1024);
+        self.sm.smem_bytes = (base.smem_bytes * percent / 100).max(1024);
+        self
+    }
+
+    /// Total L2 capacity across partitions.
+    pub fn l2_total(&self) -> u64 {
+        self.l2_slice.bytes * self.n_partitions as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = GpuConfig::rtx3070();
+        assert_eq!(c.n_sms, 78);
+        assert_eq!(c.sm.max_ctas, 32);
+        assert_eq!(c.sm.max_threads, 1536);
+        assert_eq!(c.sm.registers, 65536);
+        assert_eq!(c.sm.smem_bytes, 100 * 1024);
+        assert_eq!(c.sm.l1.bytes, 128 * 1024);
+        assert_eq!(c.l2_total(), 4 * 1024 * 1024);
+        assert_eq!(c.icnt.flit_bytes, 40);
+    }
+
+    #[test]
+    fn cache_sweep_builder() {
+        let c = GpuConfig::rtx3070().with_cache_sizes(0, 128 * 1024);
+        assert_eq!(c.sm.l1.bytes, 0);
+        assert_eq!(c.l2_total(), 128 * 1024);
+    }
+
+    #[test]
+    fn cta_scale_builder() {
+        let c = GpuConfig::rtx3070().with_cta_scale(50);
+        assert_eq!(c.sm.max_ctas, 16);
+        assert_eq!(c.sm.max_threads, 768);
+        let c2 = GpuConfig::rtx3070().with_cta_scale(200);
+        assert_eq!(c2.sm.max_ctas, 64);
+    }
+}

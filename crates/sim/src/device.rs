@@ -1,0 +1,622 @@
+//! The whole-GPU device: SM cluster, interconnect, L2 partitions, DRAM
+//! channels, CTA dispatcher, CDP runtime, and the host API.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use ggpu_icnt::Icnt;
+use ggpu_isa::{Kernel, KernelId, LaunchDims, Program};
+use ggpu_mem::{Cache, CacheOutcome, Dram, LINE_BYTES};
+use ggpu_sm::{CtaConfig, MemRequest, ReqKind, SmCore, TickOutput};
+
+use crate::config::GpuConfig;
+use crate::memory::{DeviceMemory, DevicePtr};
+use crate::stats::{HostStats, RunStats};
+
+/// Cap on simulated cycles per `synchronize`, to turn accidental deadlocks
+/// into loud failures instead of hangs.
+const MAX_SYNC_CYCLES: u64 = 2_000_000_000;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A request packet arrived at its memory partition.
+    L2Arrive { sm: usize, id: u64, addr: u64, kind: u8, tex: bool },
+    /// A reply packet arrived back at its SM.
+    Reply { sm: usize, id: u64 },
+}
+
+#[derive(Debug)]
+enum DramTarget {
+    /// Fill an L2 line and answer the waiters registered under it.
+    Fill { part: usize, line: u64 },
+    /// Pure write traffic; nothing to do on completion.
+    Write,
+}
+
+#[derive(Debug)]
+struct Grid {
+    kernel: KernelId,
+    dims: LaunchDims,
+    params: Arc<Vec<u64>>,
+    const_data: Arc<Vec<u8>>,
+    local_base: u64,
+    local_stride: u64,
+    next_cta: u64,
+    done_ctas: u64,
+    /// `(sm, slot, parent grid handle)` for CDP children.
+    parent: Option<(usize, usize, u64)>,
+    /// Earliest cycle CTAs may dispatch (launch overhead); `None` until the
+    /// grid reaches the head of its queue.
+    armed_at: Option<u64>,
+    from_host: bool,
+}
+
+impl Grid {
+    fn fully_dispatched(&self) -> bool {
+        self.next_cta >= self.dims.num_ctas()
+    }
+    fn finished(&self) -> bool {
+        self.fully_dispatched() && self.done_ctas >= self.dims.num_ctas()
+    }
+}
+
+/// The simulated GPU plus its host-side API.
+///
+/// A typical benchmark host program:
+///
+/// 1. [`Gpu::new`] with a [`Program`] and [`GpuConfig`],
+/// 2. [`Gpu::malloc`] / [`Gpu::memcpy_h2d`] to stage inputs,
+/// 3. [`Gpu::launch`] one or more grids, [`Gpu::synchronize`] to run them,
+/// 4. [`Gpu::memcpy_d2h`] to fetch results, [`Gpu::stats`] for counters.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    program: Arc<Program>,
+    sms: Vec<SmCore>,
+    mem: DeviceMemory,
+    l2: Vec<Cache>,
+    dram: Vec<Dram>,
+    icnt_req: Icnt,
+    icnt_rep: Icnt,
+    cycle: u64,
+    events: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    ev_seq: u64,
+    host_queue: VecDeque<u64>,
+    device_queue: VecDeque<u64>,
+    grids: HashMap<u64, Grid>,
+    next_grid: u64,
+    const_bindings: HashMap<u32, Arc<Vec<u8>>>,
+    /// (partition, line) → (sm, req id) entries awaiting an L2 fill.
+    l2_waiters: HashMap<(usize, u64), Vec<(usize, u64)>>,
+    /// DRAM requests in flight, by channel-unique key.
+    dram_inflight: HashMap<u64, DramTarget>,
+    next_dram_key: u64,
+    /// Per-partition overflow queue when a DRAM channel's queue is full.
+    dram_wait: Vec<VecDeque<(u64, u64)>>,
+    dispatch_cursor: usize,
+    host: HostStats,
+}
+
+impl Gpu {
+    /// Build a GPU running `program` under `config`.
+    pub fn new(program: Program, config: GpuConfig) -> Self {
+        program
+            .validate()
+            .unwrap_or_else(|(name, e)| panic!("kernel `{name}` invalid: {e}"));
+        let program = Arc::new(program);
+        let sms = (0..config.n_sms)
+            .map(|_| SmCore::new(config.sm, Arc::clone(&program)))
+            .collect();
+        let l2 = (0..config.n_partitions)
+            .map(|_| Cache::new(config.l2_slice))
+            .collect();
+        let dram = (0..config.n_partitions)
+            .map(|_| Dram::new(config.dram))
+            .collect();
+        let icnt_req = Icnt::new(config.icnt, config.n_sms, config.n_partitions);
+        let icnt_rep = Icnt::new(config.icnt, config.n_sms, config.n_partitions);
+        Gpu {
+            sms,
+            mem: DeviceMemory::new(),
+            l2,
+            dram,
+            icnt_req,
+            icnt_rep,
+            cycle: 0,
+            events: BinaryHeap::new(),
+            ev_seq: 0,
+            host_queue: VecDeque::new(),
+            device_queue: VecDeque::new(),
+            grids: HashMap::new(),
+            next_grid: 1,
+            const_bindings: HashMap::new(),
+            l2_waiters: HashMap::new(),
+            dram_inflight: HashMap::new(),
+            next_dram_key: 0,
+            dram_wait: vec![VecDeque::new(); config.n_partitions],
+            dispatch_cursor: 0,
+            host: HostStats::default(),
+            config,
+            program,
+        }
+    }
+
+    /// The configuration the GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The program loaded on the device.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Functional device memory (for test setup/inspection).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Mutable functional device memory.
+    pub fn memory_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+
+    // ---- host API -------------------------------------------------------
+
+    /// Allocate device memory.
+    pub fn malloc(&mut self, bytes: u64) -> DevicePtr {
+        self.mem.alloc(bytes)
+    }
+
+    /// Copy host data to the device (one PCI transaction).
+    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) {
+        self.mem.write_slice(dst, data);
+        self.host.pci_count += 1;
+        self.host.h2d_bytes += data.len() as u64;
+        self.host.pci_cycles +=
+            self.config.pcie.latency + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
+    }
+
+    /// Copy device data back to the host (one PCI transaction).
+    pub fn memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Vec<u8> {
+        self.host.pci_count += 1;
+        self.host.d2h_bytes += len as u64;
+        self.host.pci_cycles +=
+            self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        self.mem.read_slice(src, len)
+    }
+
+    /// Bind a constant-memory image to a kernel (as `cudaMemcpyToSymbol`
+    /// would); inherited by CDP children of the same kernel id.
+    pub fn bind_constants(&mut self, kernel: KernelId, data: Vec<u8>) {
+        self.const_bindings.insert(kernel.0, Arc::new(data));
+    }
+
+    /// Enqueue a grid on the default stream (serialized with prior host
+    /// launches). Returns the grid handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is not in the program.
+    pub fn launch(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
+        let k: &Kernel = self.program.kernel(kernel);
+        let local_stride = k.local_bytes_per_thread as u64;
+        let local_base = if local_stride > 0 {
+            self.mem.alloc(local_stride * dims.total_threads()).0
+        } else {
+            0
+        };
+        let const_data = self
+            .const_bindings
+            .get(&kernel.0)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()));
+        let handle = self.next_grid;
+        self.next_grid += 1;
+        self.grids.insert(
+            handle,
+            Grid {
+                kernel,
+                dims,
+                params: Arc::new(params.to_vec()),
+                const_data,
+                local_base,
+                local_stride,
+                next_cta: 0,
+                done_ctas: 0,
+                parent: None,
+                armed_at: None,
+                from_host: true,
+            },
+        );
+        self.host_queue.push_back(handle);
+        self.host.kernel_launches += 1;
+        handle
+    }
+
+    /// Run the device until all launched grids complete; returns elapsed
+    /// kernel cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device does not drain within two billion cycles
+    /// (deadlock guard).
+    pub fn synchronize(&mut self) -> u64 {
+        let start = self.cycle;
+        while self.busy() {
+            self.tick();
+            assert!(
+                self.cycle - start < MAX_SYNC_CYCLES,
+                "synchronize exceeded {MAX_SYNC_CYCLES} cycles — device deadlock?"
+            );
+        }
+        let elapsed = self.cycle - start;
+        self.host.kernel_cycles += elapsed;
+        elapsed
+    }
+
+    /// Convenience: launch one grid and synchronize.
+    pub fn run_kernel(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
+        self.launch(kernel, dims, params);
+        self.synchronize()
+    }
+
+    /// Whether any work remains on the device.
+    pub fn busy(&self) -> bool {
+        !self.grids.is_empty()
+            || !self.events.is_empty()
+            || self.sms.iter().any(|s| !s.is_idle() || s.has_outstanding())
+            || self.dram.iter().any(|d| !d.is_idle())
+            || self.dram_wait.iter().any(|q| !q.is_empty())
+    }
+
+    // ---- statistics -------------------------------------------------------
+
+    /// Snapshot all counters.
+    pub fn stats(&self) -> RunStats {
+        let mut r = RunStats {
+            host: self.host,
+            icnt_req: *self.icnt_req.stats(),
+            icnt_rep: *self.icnt_rep.stats(),
+            ..RunStats::default()
+        };
+        for sm in &self.sms {
+            r.sm.merge(sm.stats());
+            RunStats::merge_cache(&mut r.l1, sm.l1_stats());
+        }
+        for l2 in &self.l2 {
+            RunStats::merge_cache(&mut r.l2, l2.stats());
+        }
+        for d in &self.dram {
+            RunStats::merge_dram(&mut r.dram, d.stats());
+        }
+        r
+    }
+
+    /// Reset every statistic (not memory contents or cache tags).
+    pub fn reset_stats(&mut self) {
+        self.host = HostStats::default();
+        for sm in &mut self.sms {
+            let _ = sm.take_stats();
+            sm.reset_cache_stats();
+        }
+        for l2 in &mut self.l2 {
+            l2.reset_stats();
+        }
+        for d in &mut self.dram {
+            d.reset_stats();
+        }
+        self.icnt_req.reset_stats();
+        self.icnt_rep.reset_stats();
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    #[inline]
+    fn partition_of(&self, addr: u64) -> usize {
+        ((addr / 256) % self.config.n_partitions as u64) as usize
+    }
+
+    fn push_event(&mut self, time: u64, ev: Ev) {
+        self.ev_seq += 1;
+        self.events.push(Reverse((time, self.ev_seq, ev)));
+    }
+
+    fn route_request(&mut self, sm: usize, req: MemRequest) {
+        let part = self.partition_of(req.addr);
+        let bytes = match req.kind {
+            ReqKind::Load => 32,
+            ReqKind::Store => 8 + LINE_BYTES as u32,
+            ReqKind::Atomic => 40,
+        };
+        let t = self.icnt_req.send(
+            self.icnt_req.src_node(sm),
+            self.icnt_req.dst_node(part),
+            bytes,
+            self.cycle,
+        );
+        let kind = match req.kind {
+            ReqKind::Load => 0,
+            ReqKind::Store => 1,
+            ReqKind::Atomic => 2,
+        };
+        self.push_event(
+            t.max(self.cycle + 1),
+            Ev::L2Arrive {
+                sm,
+                id: req.id,
+                addr: req.addr,
+                kind,
+                tex: req.tex,
+            },
+        );
+    }
+
+    fn enqueue_dram(&mut self, part: usize, addr: u64, target: DramTarget) {
+        let key = self.next_dram_key;
+        self.next_dram_key += 1;
+        self.dram_inflight.insert(key, target);
+        if !self.dram[part].push(key, addr, self.cycle) {
+            self.dram_wait[part].push_back((key, addr));
+        }
+    }
+
+    fn send_reply(&mut self, part: usize, sm: usize, id: u64, extra_delay: u64) {
+        let t = self.icnt_rep.send(
+            self.icnt_rep.dst_node(part),
+            self.icnt_rep.src_node(sm),
+            8 + LINE_BYTES as u32,
+            self.cycle + extra_delay,
+        );
+        self.push_event(t.max(self.cycle + 1), Ev::Reply { sm, id });
+    }
+
+    fn handle_l2_arrive(&mut self, sm: usize, id: u64, addr: u64, kind: u8, tex: bool) {
+        let part = self.partition_of(addr);
+        let line = addr / LINE_BYTES;
+        match kind {
+            // Load or atomic: read path through L2.
+            0 | 2 => match self.l2[part].access(addr, false) {
+                CacheOutcome::Hit => {
+                    self.send_reply(part, sm, id, self.config.l2_latency);
+                }
+                CacheOutcome::MshrMerged => {
+                    self.l2_waiters.entry((part, line)).or_default().push((sm, id));
+                }
+                _ => {
+                    self.l2_waiters.entry((part, line)).or_default().push((sm, id));
+                    self.enqueue_dram(part, addr, DramTarget::Fill { part, line });
+                }
+            },
+            // Store: write-through L2 (update on hit, stream to DRAM).
+            _ => {
+                let _ = self.l2[part].access(addr, true);
+                let _ = tex;
+                self.enqueue_dram(part, addr, DramTarget::Write);
+            }
+        }
+    }
+
+    fn dram_tick(&mut self) {
+        for part in 0..self.dram.len() {
+            // Feed waiting requests as queue space opens.
+            while let Some(&(key, addr)) = self.dram_wait[part].front() {
+                if self.dram[part].push(key, addr, self.cycle) {
+                    self.dram_wait[part].pop_front();
+                } else {
+                    break;
+                }
+            }
+            for key in self.dram[part].tick(self.cycle) {
+                match self.dram_inflight.remove(&key) {
+                    Some(DramTarget::Fill { part, line }) => {
+                        self.l2[part].fill(line * LINE_BYTES, false);
+                        if let Some(waiters) = self.l2_waiters.remove(&(part, line)) {
+                            for (sm, id) in waiters {
+                                self.send_reply(part, sm, id, 0);
+                            }
+                        }
+                    }
+                    Some(DramTarget::Write) | None => {}
+                }
+            }
+        }
+    }
+
+    fn arm_and_dispatch(&mut self) {
+        // CDP children dispatch immediately (after their overhead window).
+        let device_handles: Vec<u64> = self.device_queue.iter().copied().collect();
+        for h in device_handles {
+            self.dispatch_grid(h);
+        }
+        self.device_queue.retain(|h| {
+            self.grids
+                .get(h)
+                .map(|g| !g.fully_dispatched())
+                .unwrap_or(false)
+        });
+
+        // Host grids serialize on the default stream: only the head runs.
+        if let Some(&head) = self.host_queue.front() {
+            let arm = {
+                let g = self.grids.get_mut(&head).expect("head grid exists");
+                if g.armed_at.is_none() {
+                    g.armed_at = Some(self.cycle + self.config.kernel_launch_overhead);
+                    true
+                } else {
+                    false
+                }
+            };
+            if arm && self.config.flush_between_kernels {
+                for sm in &mut self.sms {
+                    sm.flush_caches();
+                }
+                for l2 in &mut self.l2 {
+                    l2.flush();
+                }
+            }
+            self.dispatch_grid(head);
+        }
+    }
+
+    fn dispatch_grid(&mut self, handle: u64) {
+        let (kernel_id, dims, params, const_data, local_base, local_stride, mut next_cta, armed) = {
+            let g = match self.grids.get(&handle) {
+                Some(g) => g,
+                None => return,
+            };
+            if g.armed_at.map(|t| self.cycle < t).unwrap_or(true) || g.fully_dispatched() {
+                return;
+            }
+            (
+                g.kernel,
+                g.dims,
+                Arc::clone(&g.params),
+                Arc::clone(&g.const_data),
+                g.local_base,
+                g.local_stride,
+                g.next_cta,
+                true,
+            )
+        };
+        debug_assert!(armed);
+        let total = dims.num_ctas();
+        let n_sms = self.sms.len();
+        let mut failures = 0;
+        while next_cta < total && failures < n_sms {
+            let sm = self.dispatch_cursor % n_sms;
+            self.dispatch_cursor += 1;
+            let cfg = CtaConfig {
+                kernel_id,
+                grid_handle: handle,
+                cta_linear: next_cta,
+                dims,
+                params: Arc::clone(&params),
+                const_data: Arc::clone(&const_data),
+                local_base,
+                local_stride,
+            };
+            if self.sms[sm].try_launch_cta(cfg) {
+                next_cta += 1;
+                failures = 0;
+            } else {
+                failures += 1;
+            }
+        }
+        if let Some(g) = self.grids.get_mut(&handle) {
+            g.next_cta = next_cta;
+        }
+    }
+
+    fn grid_done(&mut self, handle: u64) {
+        let grid = match self.grids.remove(&handle) {
+            Some(g) => g,
+            None => return,
+        };
+        if let Some((sm, slot, parent_handle)) = grid.parent {
+            self.sms[sm].child_grid_done(slot, Some(parent_handle));
+        }
+        if grid.from_host {
+            debug_assert_eq!(self.host_queue.front(), Some(&handle));
+            self.host_queue.pop_front();
+        }
+    }
+
+    /// Advance the device one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+
+        // 1. Deliver due network events.
+        while let Some(Reverse((t, _, _))) = self.events.peek() {
+            if *t > now {
+                break;
+            }
+            let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
+            match ev {
+                Ev::L2Arrive { sm, id, addr, kind, tex } => {
+                    self.handle_l2_arrive(sm, id, addr, kind, tex)
+                }
+                Ev::Reply { sm, id } => self.sms[sm].mem_response(id, now),
+            }
+        }
+
+        // 2. DRAM channels.
+        self.dram_tick();
+
+        // 3. CTA dispatch (children first, then the head host grid).
+        self.arm_and_dispatch();
+
+        // 4. SM cores.
+        let device_busy = self
+            .grids
+            .values()
+            .any(|g| !g.fully_dispatched() || g.armed_at.map(|t| now < t).unwrap_or(true));
+        let mut out = TickOutput::default();
+        for sm in 0..self.sms.len() {
+            self.sms[sm].tick(now, &mut self.mem, device_busy, &mut out);
+            let requests = std::mem::take(&mut out.mem_requests);
+            for req in requests {
+                self.route_request(sm, req);
+            }
+            let launches = std::mem::take(&mut out.launches);
+            for l in launches {
+                self.spawn_child(sm, l);
+            }
+            let completed = std::mem::take(&mut out.completed);
+            for c in completed {
+                if let Some(g) = self.grids.get_mut(&c.grid_handle) {
+                    g.done_ctas += 1;
+                    if g.finished() {
+                        self.grid_done(c.grid_handle);
+                    }
+                }
+            }
+        }
+    }
+
+    fn spawn_child(&mut self, parent_sm: usize, l: ggpu_sm::DeviceLaunch) {
+        let kernel = KernelId(l.kernel);
+        let k = match self.program.get(kernel) {
+            Some(k) => k,
+            None => return,
+        };
+        let dims = LaunchDims::linear(l.grid_x, l.block_x);
+        let local_stride = k.local_bytes_per_thread as u64;
+        let local_base = if local_stride > 0 {
+            self.mem.alloc(local_stride * dims.total_threads()).0
+        } else {
+            0
+        };
+        let const_data = self
+            .const_bindings
+            .get(&l.kernel)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(Vec::new()));
+        let handle = self.next_grid;
+        self.next_grid += 1;
+        self.grids.insert(
+            handle,
+            Grid {
+                kernel,
+                dims,
+                params: Arc::new(l.params),
+                const_data,
+                local_base,
+                local_stride,
+                next_cta: 0,
+                done_ctas: 0,
+                parent: Some((parent_sm, l.parent_slot, l.parent_grid)),
+                armed_at: Some(self.cycle + self.config.cdp_launch_overhead),
+                from_host: false,
+            },
+        );
+        self.device_queue.push_back(handle);
+    }
+}

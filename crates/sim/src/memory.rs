@@ -1,0 +1,176 @@
+//! Functional device memory: a flat byte image with a bump allocator.
+
+use ggpu_isa::{AtomOp, Width};
+use ggpu_sm::GlobalMem;
+
+/// A typed device pointer returned by [`DeviceMemory::alloc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// Byte offset arithmetic.
+    pub fn offset(self, bytes: u64) -> DevicePtr {
+        DevicePtr(self.0 + bytes)
+    }
+}
+
+impl std::fmt::Display for DevicePtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Flat functional memory image. Reads outside the written region return
+/// zero; writes grow the image (capped only by host memory).
+#[derive(Debug, Default)]
+pub struct DeviceMemory {
+    data: Vec<u8>,
+    cursor: u64,
+}
+
+/// Allocation alignment for [`DeviceMemory::alloc`].
+const ALLOC_ALIGN: u64 = 256;
+/// Address zero is reserved so null pointers fault visibly (read as zero).
+const BASE: u64 = 4096;
+
+impl DeviceMemory {
+    /// Fresh empty memory.
+    pub fn new() -> Self {
+        DeviceMemory {
+            data: Vec::new(),
+            cursor: BASE,
+        }
+    }
+
+    /// Allocate `bytes` of device memory (256-byte aligned).
+    pub fn alloc(&mut self, bytes: u64) -> DevicePtr {
+        let addr = self.cursor;
+        self.cursor = (addr + bytes).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        let end = (addr + bytes) as usize;
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        DevicePtr(addr)
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.cursor - BASE
+    }
+
+    /// Copy a host slice into device memory.
+    pub fn write_slice(&mut self, ptr: DevicePtr, bytes: &[u8]) {
+        let start = ptr.0 as usize;
+        let end = start + bytes.len();
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        self.data[start..end].copy_from_slice(bytes);
+    }
+
+    /// Copy device memory out to the host.
+    pub fn read_slice(&self, ptr: DevicePtr, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        let start = ptr.0 as usize;
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.data.get(start + i).copied().unwrap_or(0);
+        }
+        out
+    }
+
+    /// Read one u64 (convenience for tests and harnesses).
+    pub fn read_u64(&self, ptr: DevicePtr) -> u64 {
+        let b = self.read_slice(ptr, 8);
+        u64::from_le_bytes(b.try_into().expect("8 bytes"))
+    }
+
+    /// Write one u64.
+    pub fn write_u64(&mut self, ptr: DevicePtr, v: u64) {
+        self.write_slice(ptr, &v.to_le_bytes());
+    }
+}
+
+impl GlobalMem for DeviceMemory {
+    fn read(&mut self, addr: u64, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            let b = self.data.get((addr + i) as usize).copied().unwrap_or(0);
+            v |= (b as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn write(&mut self, addr: u64, width: Width, value: u64) {
+        let end = (addr + width.bytes()) as usize;
+        if self.data.len() < end {
+            self.data.resize(end, 0);
+        }
+        for i in 0..width.bytes() {
+            self.data[(addr + i) as usize] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    fn atom(&mut self, op: AtomOp, addr: u64, src: u64, cas: u64) -> u64 {
+        let old = GlobalMem::read(self, addr, Width::B64);
+        let (new, o) = op.apply(old, src, cas);
+        GlobalMem::write(self, addr, Width::B64, new);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = DeviceMemory::new();
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert_eq!(a.0 % ALLOC_ALIGN, 0);
+        assert_eq!(b.0 % ALLOC_ALIGN, 0);
+        assert!(b.0 >= a.0 + 100);
+        assert!(m.allocated() >= 200);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut m = DeviceMemory::new();
+        let p = m.alloc(16);
+        m.write_slice(p, &[1, 2, 3, 4]);
+        assert_eq!(m.read_slice(p, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.read_slice(p.offset(2), 2), vec![3, 4]);
+    }
+
+    #[test]
+    fn u64_roundtrip_and_widths() {
+        let mut m = DeviceMemory::new();
+        let p = m.alloc(8);
+        m.write_u64(p, 0x1122334455667788);
+        assert_eq!(m.read_u64(p), 0x1122334455667788);
+        assert_eq!(GlobalMem::read(&mut m, p.0, Width::B8), 0x88);
+        assert_eq!(GlobalMem::read(&mut m, p.0 + 1, Width::B16), 0x6677);
+        assert_eq!(GlobalMem::read(&mut m, p.0, Width::B32), 0x55667788);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut m = DeviceMemory::new();
+        assert_eq!(GlobalMem::read(&mut m, 1 << 40, Width::B64), 0);
+    }
+
+    #[test]
+    fn atomics_apply() {
+        let mut m = DeviceMemory::new();
+        let p = m.alloc(8);
+        m.write_u64(p, 10);
+        let old = m.atom(AtomOp::Add, p.0, 5, 0);
+        assert_eq!(old, 10);
+        assert_eq!(m.read_u64(p), 15);
+    }
+
+    #[test]
+    fn device_ptr_display() {
+        assert_eq!(DevicePtr(0x1000).to_string(), "0x1000");
+    }
+}

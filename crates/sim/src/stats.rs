@@ -1,0 +1,137 @@
+//! Aggregated run statistics across the whole GPU plus the host model.
+
+use ggpu_icnt::IcntStats;
+use ggpu_mem::{CacheStats, DramStats};
+use ggpu_sm::SmStats;
+
+/// Host-side activity counters (the Figure 4 data).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostStats {
+    /// Host kernel launches (`<<<>>>` invocations).
+    pub kernel_launches: u64,
+    /// `cudaMemcpy` calls (PCI transactions).
+    pub pci_count: u64,
+    /// Cycles spent in PCI transfers.
+    pub pci_cycles: u64,
+    /// Cycles spent executing kernels (inside `synchronize`).
+    pub kernel_cycles: u64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+}
+
+impl HostStats {
+    /// Average kernel time per launch in cycles.
+    pub fn avg_kernel_cycles(&self) -> f64 {
+        if self.kernel_launches == 0 {
+            0.0
+        } else {
+            self.kernel_cycles as f64 / self.kernel_launches as f64
+        }
+    }
+
+    /// Average PCI time per transfer in cycles.
+    pub fn avg_pci_cycles(&self) -> f64 {
+        if self.pci_count == 0 {
+            0.0
+        } else {
+            self.pci_cycles as f64 / self.pci_count as f64
+        }
+    }
+}
+
+/// Snapshot of every counter in the machine after a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Host-side counters.
+    pub host: HostStats,
+    /// Merged SM counters (instruction mix, occupancy, stalls, ...).
+    pub sm: SmStats,
+    /// Merged L1 data-cache counters across SMs.
+    pub l1: CacheStats,
+    /// Merged L2 counters across partitions.
+    pub l2: CacheStats,
+    /// Merged DRAM counters across channels.
+    pub dram: DramStats,
+    /// Request-network counters.
+    pub icnt_req: IcntStats,
+    /// Reply-network counters.
+    pub icnt_rep: IcntStats,
+}
+
+impl RunStats {
+    /// Whole-GPU instructions per cycle over kernel-execution time.
+    pub fn ipc(&self) -> f64 {
+        if self.host.kernel_cycles == 0 {
+            0.0
+        } else {
+            self.sm.issued as f64 / self.host.kernel_cycles as f64
+        }
+    }
+
+    /// DRAM utilization over kernel cycles (Figure 18).
+    pub fn dram_utilization(&self) -> f64 {
+        self.dram.utilization(self.host.kernel_cycles)
+    }
+
+    /// End-to-end cycles (kernel + PCI).
+    pub fn total_cycles(&self) -> u64 {
+        self.host.kernel_cycles + self.host.pci_cycles
+    }
+
+    /// Convert cycles to seconds at `clock_ghz`.
+    pub fn seconds(&self, clock_ghz: f64) -> f64 {
+        self.total_cycles() as f64 / (clock_ghz * 1e9)
+    }
+
+    /// Merge two cache stats (helper for aggregation).
+    pub(crate) fn merge_cache(into: &mut CacheStats, from: &CacheStats) {
+        into.read_access += from.read_access;
+        into.read_hit += from.read_hit;
+        into.write_access += from.write_access;
+        into.write_hit += from.write_hit;
+        into.mshr_merged += from.mshr_merged;
+        into.reservation_fails += from.reservation_fails;
+        into.writebacks += from.writebacks;
+    }
+
+    /// Merge two DRAM stats (helper for aggregation).
+    pub(crate) fn merge_dram(into: &mut DramStats, from: &DramStats) {
+        into.requests += from.requests;
+        into.row_hits += from.row_hits;
+        into.data_cycles += from.data_cycles;
+        into.active_cycles += from.active_cycles;
+        into.rejected += from.rejected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_averages() {
+        let h = HostStats {
+            kernel_launches: 4,
+            pci_count: 2,
+            pci_cycles: 100,
+            kernel_cycles: 400,
+            ..Default::default()
+        };
+        assert_eq!(h.avg_kernel_cycles(), 100.0);
+        assert_eq!(h.avg_pci_cycles(), 50.0);
+        assert_eq!(HostStats::default().avg_pci_cycles(), 0.0);
+    }
+
+    #[test]
+    fn run_stats_derived_metrics() {
+        let mut r = RunStats::default();
+        r.host.kernel_cycles = 1000;
+        r.host.pci_cycles = 500;
+        r.sm.issued = 2000;
+        assert_eq!(r.ipc(), 2.0);
+        assert_eq!(r.total_cycles(), 1500);
+        assert!((r.seconds(1.5) - 1e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,1311 @@
+//! The streaming-multiprocessor core: CTA slots, warp scheduling, functional
+//! execution of the ISA, memory coalescing into off-chip requests, and
+//! per-cycle stall accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ggpu_isa::{
+    AtomOp, CvtKind, Instr, Kernel, KernelId, LaunchDims, Operand, Program, Reg, Space, SpecialReg,
+    Width, WARP_SIZE,
+};
+use ggpu_mem::{Cache, CacheOutcome, CacheStats, LINE_BYTES};
+
+use crate::coalesce::{bank_conflict_degree, coalesce_lines};
+use crate::config::{SchedPolicy, SmConfig};
+use crate::stats::{SmStats, StallReason};
+use crate::warp::{lane_mask, lanes, WaitKind, Warp, WarpBlock};
+
+/// Functional backing store for global/local/texture memory, provided by the
+/// device (the SM only models timing for these spaces).
+pub trait GlobalMem {
+    /// Read `width` bytes at `addr`, zero-extended.
+    fn read(&mut self, addr: u64, width: Width) -> u64;
+    /// Write the low `width` bytes of `value` at `addr`.
+    fn write(&mut self, addr: u64, width: Width, value: u64);
+    /// Atomically apply `op`; returns the old value.
+    fn atom(&mut self, op: AtomOp, addr: u64, src: u64, cas: u64) -> u64;
+}
+
+/// Kind of off-chip memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Read that must be answered with [`SmCore::mem_response`].
+    Load,
+    /// Write-through store; fire and forget.
+    Store,
+    /// Atomic executed at the memory partition; must be answered.
+    Atomic,
+}
+
+/// An off-chip memory request emitted by [`SmCore::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// SM-local request id (echoed back in [`SmCore::mem_response`]).
+    pub id: u64,
+    /// 128-byte-aligned byte address.
+    pub addr: u64,
+    /// Request kind.
+    pub kind: ReqKind,
+    /// Whether this request came through the texture path.
+    pub tex: bool,
+}
+
+/// A device-side child-kernel launch emitted by a CDP kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceLaunch {
+    /// Child kernel id within the shared [`Program`].
+    pub kernel: u32,
+    /// Child grid size (CTAs).
+    pub grid_x: u32,
+    /// Child CTA size (threads).
+    pub block_x: u32,
+    /// Parameters copied from the parent-provided global-memory block.
+    pub params: Vec<u64>,
+    /// CTA slot of the parent (for `Dsync` bookkeeping).
+    pub parent_slot: usize,
+    /// Grid handle of the parent (guards slot reuse on completion).
+    pub parent_grid: u64,
+}
+
+/// Everything the device provides when placing a CTA on an SM.
+#[derive(Debug, Clone)]
+pub struct CtaConfig {
+    /// Kernel to run.
+    pub kernel_id: KernelId,
+    /// Device-side grid-instance handle this CTA belongs to.
+    pub grid_handle: u64,
+    /// Linear CTA index within the grid.
+    pub cta_linear: u64,
+    /// Grid/CTA dimensions of the launch.
+    pub dims: LaunchDims,
+    /// Kernel parameters (u64 words).
+    pub params: Arc<Vec<u64>>,
+    /// Constant-memory image bound to the kernel.
+    pub const_data: Arc<Vec<u8>>,
+    /// Base of this grid's local-memory arena in global address space.
+    pub local_base: u64,
+    /// Bytes of local memory per thread.
+    pub local_stride: u64,
+}
+
+/// Notification that a CTA has finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedCta {
+    /// Grid-instance handle the CTA belonged to.
+    pub grid_handle: u64,
+    /// SM-local slot index that was freed.
+    pub slot: usize,
+}
+
+/// Everything produced by one SM cycle.
+#[derive(Debug, Default)]
+pub struct TickOutput {
+    /// Off-chip memory requests to route through the interconnect.
+    pub mem_requests: Vec<MemRequest>,
+    /// CDP child launches.
+    pub launches: Vec<DeviceLaunch>,
+    /// CTAs that completed this cycle.
+    pub completed: Vec<CompletedCta>,
+}
+
+#[derive(Debug)]
+struct CtaSlot {
+    cfg: CtaConfig,
+    smem: Vec<u8>,
+    warps: Vec<usize>,
+    /// Warps not yet exited.
+    running: u32,
+    /// Warps currently parked at the barrier.
+    barrier_count: u32,
+    /// Outstanding child grids (CDP).
+    children: u32,
+    live: bool,
+    threads: u32,
+    regs: u32,
+    smem_bytes: u32,
+}
+
+#[derive(Debug)]
+enum RespRoute {
+    LoadFill { tex: bool, line: u64 },
+    Atomic { warp: usize, reg: Reg },
+}
+
+/// A single streaming multiprocessor.
+///
+/// The device calls [`SmCore::try_launch_cta`] to place work,
+/// [`SmCore::tick`] every cycle, [`SmCore::mem_response`] when the memory
+/// system answers a request, and [`SmCore::child_grid_done`] when a CDP
+/// child grid drains.
+#[derive(Debug)]
+pub struct SmCore {
+    config: SmConfig,
+    program: Arc<Program>,
+    slots: Vec<CtaSlot>,
+    free_slots: Vec<usize>,
+    warps: Vec<Option<Warp>>,
+    free_warps: Vec<usize>,
+    live_warps: u32,
+    used_threads: u32,
+    used_regs: u32,
+    used_smem: u32,
+    used_slots: u32,
+    l1: Cache,
+    cc: Cache,
+    tc: Cache,
+    outstanding: HashMap<u64, RespRoute>,
+    waiters: HashMap<(bool, u64), Vec<(usize, Reg)>>,
+    next_req_id: u64,
+    age_counter: u64,
+    /// Per-scheduler round-robin cursor.
+    rr_cursor: Vec<usize>,
+    /// Per-scheduler sticky warp for GTO.
+    gto_current: Vec<Option<usize>>,
+    stats: SmStats,
+    /// Scratch buffers reused across cycles.
+    scratch_addrs: [u64; WARP_SIZE],
+    scratch_lines: Vec<u64>,
+}
+
+impl SmCore {
+    /// Build an SM running kernels from `program`.
+    pub fn new(config: SmConfig, program: Arc<Program>) -> Self {
+        SmCore {
+            l1: Cache::new(config.l1),
+            cc: Cache::new(config.const_cache),
+            tc: Cache::new(config.tex_cache),
+            rr_cursor: vec![0; config.schedulers as usize],
+            gto_current: vec![None; config.schedulers as usize],
+            config,
+            program,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            warps: Vec::new(),
+            free_warps: Vec::new(),
+            live_warps: 0,
+            used_threads: 0,
+            used_regs: 0,
+            used_smem: 0,
+            used_slots: 0,
+            outstanding: HashMap::new(),
+            waiters: HashMap::new(),
+            next_req_id: 0,
+            age_counter: 0,
+            stats: SmStats::default(),
+            scratch_addrs: [0; WARP_SIZE],
+            scratch_lines: Vec::new(),
+        }
+    }
+
+    /// The SM's configuration.
+    pub fn config(&self) -> &SmConfig {
+        &self.config
+    }
+
+    /// True when no warps are resident.
+    pub fn is_idle(&self) -> bool {
+        self.live_warps == 0
+    }
+
+    /// True when requests are still outstanding to the memory system.
+    pub fn has_outstanding(&self) -> bool {
+        !self.outstanding.is_empty()
+    }
+
+    /// Number of live CTAs.
+    pub fn resident_ctas(&self) -> u32 {
+        self.used_slots
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SmStats {
+        &self.stats
+    }
+
+    /// Take and reset statistics.
+    pub fn take_stats(&mut self) -> SmStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// L1 data-cache statistics (Figure 13).
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// Flush all caches and reset their statistics (between kernel launches,
+    /// modelling the locality loss at `cudaMemcpy` boundaries).
+    pub fn flush_caches(&mut self) {
+        self.l1.flush();
+        self.cc.flush();
+        self.tc.flush();
+    }
+
+    /// Reset cache statistics only.
+    pub fn reset_cache_stats(&mut self) {
+        self.l1.reset_stats();
+        self.cc.reset_stats();
+        self.tc.reset_stats();
+    }
+
+    /// Attempt to place a CTA; returns `false` when resources don't fit.
+    pub fn try_launch_cta(&mut self, cfg: CtaConfig) -> bool {
+        let kernel = match self.program.get(cfg.kernel_id) {
+            Some(k) => k,
+            None => return false,
+        };
+        let threads = cfg.dims.threads_per_cta();
+        let regs = kernel.regs_per_thread * threads;
+        let smem = kernel.smem_per_cta;
+        if self.used_slots + 1 > self.config.max_ctas
+            || self.used_threads + threads > self.config.max_threads
+            || self.used_regs + regs > self.config.registers
+            || self.used_smem + smem > self.config.smem_bytes
+        {
+            return false;
+        }
+        let regs_per_thread = kernel.regs_per_thread;
+        let warps_per_cta = cfg.dims.warps_per_cta();
+        let slot_idx = self.free_slots.pop().unwrap_or_else(|| {
+            self.slots.push(CtaSlot {
+                cfg: cfg.clone(),
+                smem: Vec::new(),
+                warps: Vec::new(),
+                running: 0,
+                barrier_count: 0,
+                children: 0,
+                live: false,
+                threads: 0,
+                regs: 0,
+                smem_bytes: 0,
+            });
+            self.slots.len() - 1
+        });
+
+        let mut warp_ids = Vec::with_capacity(warps_per_cta as usize);
+        for w in 0..warps_per_cta {
+            let assigned_before = w * WARP_SIZE as u32;
+            let active = lane_mask((threads - assigned_before.min(threads)).min(WARP_SIZE as u32));
+            let warp = Warp::new(regs_per_thread, active, slot_idx, w, self.age_counter);
+            self.age_counter += 1;
+            let widx = match self.free_warps.pop() {
+                Some(i) => {
+                    self.warps[i] = Some(warp);
+                    i
+                }
+                None => {
+                    self.warps.push(Some(warp));
+                    self.warps.len() - 1
+                }
+            };
+            warp_ids.push(widx);
+        }
+        self.live_warps += warps_per_cta;
+
+        let slot = &mut self.slots[slot_idx];
+        slot.cfg = cfg;
+        slot.smem = vec![0; smem as usize];
+        slot.warps = warp_ids;
+        slot.running = warps_per_cta;
+        slot.barrier_count = 0;
+        slot.children = 0;
+        slot.live = true;
+        slot.threads = threads;
+        slot.regs = regs;
+        slot.smem_bytes = smem;
+
+        self.used_threads += threads;
+        self.used_regs += regs;
+        self.used_smem += smem;
+        self.used_slots += 1;
+        true
+    }
+
+    /// Memory-system response for request `id` issued earlier.
+    pub fn mem_response(&mut self, id: u64, now: u64) {
+        match self.outstanding.remove(&id) {
+            Some(RespRoute::LoadFill { tex, line }) => {
+                let cache = if tex { &mut self.tc } else { &mut self.l1 };
+                cache.fill(line * LINE_BYTES, false);
+                if let Some(list) = self.waiters.remove(&(tex, line)) {
+                    for (widx, reg) in list {
+                        if let Some(w) = self.warps[widx].as_mut() {
+                            let i = reg.0 as usize;
+                            w.reg_pending[i] = w.reg_pending[i].saturating_sub(1);
+                            if w.reg_pending[i] == 0 {
+                                w.reg_ready[i] = now + 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Some(RespRoute::Atomic { warp, reg }) => {
+                if let Some(w) = self.warps[warp].as_mut() {
+                    let i = reg.0 as usize;
+                    w.reg_pending[i] = w.reg_pending[i].saturating_sub(1);
+                    if w.reg_pending[i] == 0 {
+                        w.reg_ready[i] = now + 1;
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// A child grid launched by CTA `slot` has completed. `parent_grid`
+    /// guards against slot reuse: the notification is dropped unless the
+    /// slot still belongs to that grid (pass `None` to skip the check in
+    /// tests).
+    pub fn child_grid_done(&mut self, slot: usize, parent_grid: Option<u64>) {
+        if slot >= self.slots.len() || !self.slots[slot].live {
+            return;
+        }
+        if let Some(h) = parent_grid {
+            if self.slots[slot].cfg.grid_handle != h {
+                return;
+            }
+        }
+        let s = &mut self.slots[slot];
+        s.children = s.children.saturating_sub(1);
+        if s.children == 0 {
+            for &widx in &s.warps {
+                if let Some(w) = self.warps[widx].as_mut() {
+                    if w.block == WarpBlock::Dsync {
+                        w.block = WarpBlock::None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance one cycle.
+    ///
+    /// `device_busy` tells the SM that the device is mid-launch or draining
+    /// (empty cycles then count as "functional done" rather than idle).
+    pub fn tick(
+        &mut self,
+        now: u64,
+        gmem: &mut dyn GlobalMem,
+        device_busy: bool,
+        out: &mut TickOutput,
+    ) {
+        self.stats.cycles += 1;
+        let nsched = self.config.schedulers as usize;
+        if self.live_warps == 0 {
+            // An SM waiting on kernel setup/drain stalls as "functional
+            // done" (the paper's NvB signature); an SM with no work at all
+            // is unused, not stalled, and contributes nothing to Figure 5.
+            if device_busy {
+                self.stats.stalls.add(StallReason::FunctionalDone, nsched as u64);
+            }
+            return;
+        }
+        let mut fallback: Option<StallReason> = None;
+        for sched in 0..nsched {
+            match self.pick(sched, now) {
+                Ok(widx) => self.issue(widx, now, gmem, out),
+                Err(reason) => {
+                    // A scheduler with no warps of its own inherits the
+                    // SM-wide dominant wait reason so small kernels don't
+                    // drown Figure 5 in artificial idle slots.
+                    let r = if reason == StallReason::Idle && self.live_warps > 0 {
+                        if fallback.is_none() {
+                            fallback = Some(self.global_wait_reason(now));
+                        }
+                        fallback.unwrap_or(reason)
+                    } else {
+                        reason
+                    };
+                    self.stats.stalls.add(r, 1);
+                }
+            }
+        }
+    }
+
+    /// Dominant wait reason across all live warps (Memory > Control > Data
+    /// > Barrier), used for schedulers with no warps of their own.
+    fn global_wait_reason(&mut self, now: u64) -> StallReason {
+        let mut best: Option<WaitKind> = None;
+        for i in 0..self.warps.len() {
+            match self.classify(i, now) {
+                Some(WaitKind::Ready) => continue,
+                Some(k) => {
+                    best = Some(match (best, k) {
+                        (None, k) => k,
+                        (Some(WaitKind::Memory), _) | (_, WaitKind::Memory) => WaitKind::Memory,
+                        (Some(WaitKind::Control), _) | (_, WaitKind::Control) => WaitKind::Control,
+                        (Some(WaitKind::Data), _) | (_, WaitKind::Data) => WaitKind::Data,
+                        (Some(k0), _) => k0,
+                    });
+                }
+                None => {}
+            }
+        }
+        match best {
+            Some(WaitKind::Memory) => StallReason::MemLatency,
+            Some(WaitKind::Control) => StallReason::ControlHazard,
+            Some(WaitKind::Data) => StallReason::DataHazard,
+            Some(WaitKind::Sync) => StallReason::Barrier,
+            // All live warps ready but owned by other schedulers: the slot
+            // is structurally idle.
+            _ => StallReason::Idle,
+        }
+    }
+
+    /// Classify a warp's readiness at `now`; `None` when not a candidate.
+    fn classify(&mut self, widx: usize, now: u64) -> Option<WaitKind> {
+        let kid = {
+            let w = self.warps[widx].as_ref()?;
+            if w.done {
+                return None;
+            }
+            self.slots[w.cta_slot].cfg.kernel_id
+        };
+        // Split borrows: take the instruction descriptor values first.
+        let (srcs, dst) = {
+            let program = Arc::clone(&self.program);
+            let w = self.warps[widx].as_mut()?;
+            let entry = w.reconverge()?;
+            let kernel = program.kernel(kid);
+            let instr = &kernel.instrs[entry.pc];
+            (instr.src_array(), instr.dst())
+        };
+        let w = self.warps[widx].as_ref()?;
+        Some(w.wait_kind(&srcs, dst, now))
+    }
+
+    /// Scheduler `sched` picks a warp or reports its stall reason.
+    fn pick(&mut self, sched: usize, now: u64) -> Result<usize, StallReason> {
+        let nsched = self.config.schedulers as usize;
+        let candidates: Vec<usize> = (0..self.warps.len())
+            .filter(|i| i % nsched == sched)
+            .filter(|&i| self.warps[i].as_ref().map(|w| !w.done).unwrap_or(false))
+            .collect();
+        if candidates.is_empty() {
+            return Err(StallReason::Idle);
+        }
+
+        let mut best_wait: Option<WaitKind> = None;
+        let mut ready: Vec<usize> = Vec::new();
+        for &i in &candidates {
+            match self.classify(i, now) {
+                Some(WaitKind::Ready) => ready.push(i),
+                Some(k) => {
+                    best_wait = Some(match (best_wait, k) {
+                        (None, k) => k,
+                        (Some(WaitKind::Memory), _) | (_, WaitKind::Memory) => WaitKind::Memory,
+                        (Some(WaitKind::Control), _) | (_, WaitKind::Control) => WaitKind::Control,
+                        (Some(WaitKind::Data), _) | (_, WaitKind::Data) => WaitKind::Data,
+                        (Some(k0), _) => k0,
+                    });
+                }
+                None => {}
+            }
+        }
+        if ready.is_empty() {
+            return Err(match best_wait {
+                Some(WaitKind::Memory) => StallReason::MemLatency,
+                Some(WaitKind::Control) => StallReason::ControlHazard,
+                Some(WaitKind::Data) => StallReason::DataHazard,
+                Some(WaitKind::Sync) => StallReason::Barrier,
+                _ => StallReason::Idle,
+            });
+        }
+
+        let chosen = match self.config.policy {
+            SchedPolicy::Lrr | SchedPolicy::TwoLevel => {
+                // Two-level approximates to LRR over the ready set here
+                // because memory-blocked warps are already excluded from
+                // `ready` (demotion) — the active-set cap is modelled by
+                // rotating through at most `two_level_active` of them.
+                let cap = if self.config.policy == SchedPolicy::TwoLevel {
+                    self.config.two_level_active as usize
+                } else {
+                    ready.len()
+                };
+                let window = &ready[..ready.len().min(cap.max(1))];
+                let cursor = self.rr_cursor[sched];
+                let pos = window.iter().position(|&w| w > cursor).unwrap_or(0);
+                let w = window[pos];
+                self.rr_cursor[sched] = w;
+                w
+            }
+            SchedPolicy::Gto => {
+                if let Some(cur) = self.gto_current[sched] {
+                    if ready.contains(&cur) {
+                        cur
+                    } else {
+                        let w = self.oldest(&ready);
+                        self.gto_current[sched] = Some(w);
+                        w
+                    }
+                } else {
+                    let w = self.oldest(&ready);
+                    self.gto_current[sched] = Some(w);
+                    w
+                }
+            }
+            SchedPolicy::Old => self.oldest(&ready),
+        };
+        Ok(chosen)
+    }
+
+    fn oldest(&self, ready: &[usize]) -> usize {
+        *ready
+            .iter()
+            .min_by_key(|&&i| self.warps[i].as_ref().map(|w| w.age).unwrap_or(u64::MAX))
+            .expect("ready set nonempty")
+    }
+
+    #[inline]
+    fn opval(w: &Warp, op: Operand, lane: usize) -> u64 {
+        match op {
+            Operand::Reg(r) => w.read(r, lane),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn sreg_value(cfg: &CtaConfig, warp_in_cta: u32, lane: usize, sreg: SpecialReg) -> u64 {
+        let dims = cfg.dims;
+        let lin = warp_in_cta as u64 * WARP_SIZE as u64 + lane as u64;
+        let (cx, cy, _cz) = dims.cta;
+        let tid_x = lin % cx as u64;
+        let tid_y = (lin / cx as u64) % cy as u64;
+        let tid_z = lin / (cx as u64 * cy as u64);
+        let (gx, gy, _gz) = dims.grid;
+        let cta_x = cfg.cta_linear % gx as u64;
+        let cta_y = (cfg.cta_linear / gx as u64) % gy as u64;
+        let cta_z = cfg.cta_linear / (gx as u64 * gy as u64);
+        match sreg {
+            SpecialReg::TidX => tid_x,
+            SpecialReg::TidY => tid_y,
+            SpecialReg::TidZ => tid_z,
+            SpecialReg::CtaIdX => cta_x,
+            SpecialReg::CtaIdY => cta_y,
+            SpecialReg::CtaIdZ => cta_z,
+            SpecialReg::NTidX => dims.cta.0 as u64,
+            SpecialReg::NTidY => dims.cta.1 as u64,
+            SpecialReg::NTidZ => dims.cta.2 as u64,
+            SpecialReg::NCtaIdX => dims.grid.0 as u64,
+            SpecialReg::NCtaIdY => dims.grid.1 as u64,
+            SpecialReg::NCtaIdZ => dims.grid.2 as u64,
+            SpecialReg::LaneId => lane as u64,
+            SpecialReg::WarpId => warp_in_cta as u64,
+        }
+    }
+
+    fn param_read(params: &[u64], byte_addr: u64, width: Width) -> u64 {
+        let word = (byte_addr / 8) as usize;
+        let shift = (byte_addr % 8) * 8;
+        let v = params.get(word).copied().unwrap_or(0) >> shift;
+        match width {
+            Width::B8 => v & 0xFF,
+            Width::B16 => v & 0xFFFF,
+            Width::B32 => v & 0xFFFF_FFFF,
+            Width::B64 => v,
+        }
+    }
+
+    fn bytes_read(data: &[u8], addr: u64, width: Width) -> u64 {
+        let mut v: u64 = 0;
+        for i in 0..width.bytes() {
+            let b = data.get((addr + i) as usize).copied().unwrap_or(0);
+            v |= (b as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn bytes_write(data: &mut [u8], addr: u64, width: Width, value: u64) {
+        for i in 0..width.bytes() {
+            if let Some(slot) = data.get_mut((addr + i) as usize) {
+                *slot = (value >> (8 * i)) as u8;
+            }
+        }
+    }
+
+    /// Per-lane local-memory remap into the grid's local arena.
+    ///
+    /// Like real GPUs, local memory is interleaved per warp at 8-byte
+    /// granularity (`[warp][granule][lane]`): when all lanes of a warp
+    /// access the same local offset — the common case for spilled arrays —
+    /// the 32 lane addresses are contiguous and coalesce into two 128-byte
+    /// transactions instead of 32.
+    fn local_addr(
+        interleave: bool,
+        cfg: &CtaConfig,
+        warp_in_cta: u32,
+        lane: usize,
+        addr: u64,
+    ) -> u64 {
+        if !interleave {
+            // Ablation layout: contiguous per-thread arenas. Same-offset
+            // accesses across a warp land `local_stride` bytes apart and
+            // cannot coalesce.
+            let tid = warp_in_cta as u64 * WARP_SIZE as u64 + lane as u64;
+            let thread_global = cfg.cta_linear * cfg.dims.threads_per_cta() as u64 + tid;
+            return cfg.local_base + thread_global * cfg.local_stride + addr;
+        }
+        let warp_global =
+            cfg.cta_linear * cfg.dims.warps_per_cta() as u64 + warp_in_cta as u64;
+        let granule = addr / 8;
+        let rem = addr % 8;
+        let warp_stride = cfg.local_stride * WARP_SIZE as u64;
+        cfg.local_base
+            + warp_global * warp_stride
+            + granule * (8 * WARP_SIZE as u64)
+            + lane as u64 * 8
+            + rem
+    }
+
+    /// Issue one instruction from warp `widx`.
+    #[allow(clippy::too_many_lines)]
+    fn issue(&mut self, widx: usize, now: u64, gmem: &mut dyn GlobalMem, out: &mut TickOutput) {
+        let program = Arc::clone(&self.program);
+        let (slot_idx, kid, entry) = {
+            let w = self.warps[widx].as_mut().expect("issuing dead warp");
+            let entry = w.reconverge().expect("issuing finished warp");
+            (w.cta_slot, self.slots[w.cta_slot].cfg.kernel_id, entry)
+        };
+        let kernel: &Kernel = program.kernel(kid);
+        let instr = kernel.instrs[entry.pc].clone();
+        let mask = entry.mask;
+        let nlanes = mask.count_ones();
+        let pc = entry.pc;
+        let lat = self.config.lat;
+
+        self.stats.record_issue(instr.class(), nlanes);
+        if let Some(space) = instr.mem_space() {
+            self.stats.record_mem(space);
+        }
+
+        // Default post-issue state; overridden below where needed.
+        {
+            let w = self.warps[widx].as_mut().unwrap();
+            w.next_issue_at = now + 1;
+            w.issue_block_is_control = false;
+        }
+
+        match instr {
+            Instr::Alu { op, dst, a, b } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    let av = Self::opval(w, a, lane);
+                    let bv = Self::opval(w, b, lane);
+                    w.write(dst, lane, op.eval(av, bv));
+                }
+                let l = match op.class() {
+                    ggpu_isa::InstrClass::Sfu => lat.sfu,
+                    ggpu_isa::InstrClass::Fp => {
+                        if op.is_f64() {
+                            lat.fp64
+                        } else {
+                            lat.fp32
+                        }
+                    }
+                    _ => lat.int,
+                };
+                w.reg_ready[dst.0 as usize] = now + l;
+                if op.is_f64() {
+                    w.next_issue_at = now + lat.f64_interval;
+                }
+                w.advance_pc();
+            }
+            Instr::Fma { f64, dst, a, b, c } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    let av = Self::opval(w, a, lane);
+                    let bv = Self::opval(w, b, lane);
+                    let cv = Self::opval(w, c, lane);
+                    let r = if f64 {
+                        let x = f64::from_bits(av);
+                        let y = f64::from_bits(bv);
+                        let z = f64::from_bits(cv);
+                        x.mul_add(y, z).to_bits()
+                    } else {
+                        let x = f32::from_bits(av as u32);
+                        let y = f32::from_bits(bv as u32);
+                        let z = f32::from_bits(cv as u32);
+                        x.mul_add(y, z).to_bits() as u64
+                    };
+                    w.write(dst, lane, r);
+                }
+                w.reg_ready[dst.0 as usize] = now + if f64 { lat.fp64 } else { lat.fp32 };
+                if f64 {
+                    w.next_issue_at = now + lat.f64_interval;
+                }
+                w.advance_pc();
+            }
+            Instr::Mov { dst, src } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    let v = Self::opval(w, src, lane);
+                    w.write(dst, lane, v);
+                }
+                w.reg_ready[dst.0 as usize] = now + 1;
+                w.advance_pc();
+            }
+            Instr::Sel {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    let c = w.read(cond, lane);
+                    let v = if c != 0 {
+                        Self::opval(w, if_true, lane)
+                    } else {
+                        Self::opval(w, if_false, lane)
+                    };
+                    w.write(dst, lane, v);
+                }
+                w.reg_ready[dst.0 as usize] = now + lat.int;
+                w.advance_pc();
+            }
+            Instr::SetP { pred, cmp, ty, a, b } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    let av = Self::opval(w, a, lane);
+                    let bv = Self::opval(w, b, lane);
+                    w.write(pred, lane, cmp.eval(ty, av, bv) as u64);
+                }
+                w.reg_ready[pred.0 as usize] = now + lat.int;
+                w.advance_pc();
+            }
+            Instr::Cvt { kind, dst, src } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    let v = Self::opval(w, src, lane);
+                    w.write(dst, lane, kind.eval(v));
+                }
+                let fp = matches!(kind, CvtKind::I2D | CvtKind::D2I | CvtKind::F2D | CvtKind::D2F);
+                w.reg_ready[dst.0 as usize] = now + if fp { lat.fp32 } else { lat.int };
+                w.advance_pc();
+            }
+            Instr::Sreg { dst, sreg } => {
+                let cfg = self.slots[slot_idx].cfg.clone();
+                let w = self.warps[widx].as_mut().unwrap();
+                let wic = w.warp_in_cta;
+                for lane in lanes(mask) {
+                    w.write(dst, lane, Self::sreg_value(&cfg, wic, lane, sreg));
+                }
+                w.reg_ready[dst.0 as usize] = now + 1;
+                w.advance_pc();
+            }
+            Instr::Ld {
+                space,
+                width,
+                dst,
+                addr,
+                offset,
+            } => {
+                self.exec_load(widx, slot_idx, space, width, dst, addr, offset, now, gmem, out);
+            }
+            Instr::St {
+                space,
+                width,
+                src,
+                addr,
+                offset,
+            } => {
+                self.exec_store(widx, slot_idx, space, width, src, addr, offset, now, gmem, out);
+            }
+            Instr::Atom {
+                op,
+                space,
+                dst,
+                addr,
+                src,
+                cas_cmp,
+            } => {
+                self.exec_atomic(widx, slot_idx, op, space, dst, addr, src, cas_cmp, now, gmem, out);
+            }
+            Instr::Bar => {
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    w.advance_pc();
+                    w.block = WarpBlock::Barrier;
+                }
+                let slot = &mut self.slots[slot_idx];
+                slot.barrier_count += 1;
+                if slot.barrier_count >= slot.running {
+                    slot.barrier_count = 0;
+                    let warps = slot.warps.clone();
+                    for wi in warps {
+                        if let Some(w) = self.warps[wi].as_mut() {
+                            if w.block == WarpBlock::Barrier {
+                                w.block = WarpBlock::None;
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Bra {
+                pred,
+                target,
+                reconv,
+            } => {
+                let w = self.warps[widx].as_mut().unwrap();
+                let taken = match pred {
+                    None => mask,
+                    Some((r, expect)) => {
+                        let mut t = 0u32;
+                        for lane in lanes(mask) {
+                            let v = w.read(r, lane) != 0;
+                            if v == expect {
+                                t |= 1 << lane;
+                            }
+                        }
+                        t
+                    }
+                };
+                w.branch(taken, target, pc + 1, reconv);
+                w.next_issue_at = now + lat.branch;
+                w.issue_block_is_control = true;
+            }
+            Instr::Launch {
+                kernel,
+                grid_x,
+                block_x,
+                params_ptr,
+                param_words,
+            } => {
+                let mut launches = Vec::new();
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    for lane in lanes(mask) {
+                        let gx = Self::opval(w, grid_x, lane).max(1) as u32;
+                        let bx = Self::opval(w, block_x, lane).max(1) as u32;
+                        let ptr = Self::opval(w, params_ptr, lane);
+                        launches.push((gx, bx, ptr));
+                    }
+                    w.advance_pc();
+                    // Device-side launch overhead occupies the warp.
+                    w.next_issue_at = now + lat.cmem_miss.max(100);
+                    w.issue_block_is_control = true;
+                }
+                let parent_grid = self.slots[slot_idx].cfg.grid_handle;
+                for (gx, bx, ptr) in launches {
+                    let mut params = Vec::with_capacity(param_words as usize);
+                    for i in 0..param_words {
+                        params.push(gmem.read(ptr + i as u64 * 8, Width::B64));
+                    }
+                    out.launches.push(DeviceLaunch {
+                        kernel,
+                        grid_x: gx,
+                        block_x: bx,
+                        params,
+                        parent_slot: slot_idx,
+                        parent_grid,
+                    });
+                    self.slots[slot_idx].children += 1;
+                    self.stats.device_launches += 1;
+                }
+            }
+            Instr::Dsync => {
+                let children = self.slots[slot_idx].children;
+                let w = self.warps[widx].as_mut().unwrap();
+                w.advance_pc();
+                if children > 0 {
+                    w.block = WarpBlock::Dsync;
+                }
+            }
+            Instr::Exit => {
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    w.done = true;
+                }
+                self.live_warps -= 1;
+                let slot = &mut self.slots[slot_idx];
+                slot.running -= 1;
+                if slot.running == 0 {
+                    // CTA complete: free resources.
+                    slot.live = false;
+                    self.used_threads -= slot.threads;
+                    self.used_regs -= slot.regs;
+                    self.used_smem -= slot.smem_bytes;
+                    self.used_slots -= 1;
+                    self.stats.ctas_completed += 1;
+                    let grid_handle = slot.cfg.grid_handle;
+                    let warps = std::mem::take(&mut slot.warps);
+                    slot.smem = Vec::new();
+                    for wi in warps {
+                        self.warps[wi] = None;
+                        self.free_warps.push(wi);
+                    }
+                    self.free_slots.push(slot_idx);
+                    out.completed.push(CompletedCta {
+                        grid_handle,
+                        slot: slot_idx,
+                    });
+                } else if slot.barrier_count >= slot.running && slot.barrier_count > 0 {
+                    // Remaining warps were all parked at a barrier: release
+                    // them rather than deadlocking.
+                    slot.barrier_count = 0;
+                    let warps = slot.warps.clone();
+                    for wi in warps {
+                        if let Some(w) = self.warps[wi].as_mut() {
+                            if w.block == WarpBlock::Barrier {
+                                w.block = WarpBlock::None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_load(
+        &mut self,
+        widx: usize,
+        slot_idx: usize,
+        space: Space,
+        width: Width,
+        dst: Reg,
+        addr: Operand,
+        offset: i64,
+        now: u64,
+        gmem: &mut dyn GlobalMem,
+        out: &mut TickOutput,
+    ) {
+        let lat = self.config.lat;
+        match space {
+            Space::Param => {
+                let params = Arc::clone(&self.slots[slot_idx].cfg.params);
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(w.reconverge().unwrap().mask) {
+                    let a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                    let v = Self::param_read(&params, a, width);
+                    w.write(dst, lane, v);
+                }
+                w.reg_ready[dst.0 as usize] = now + lat.param;
+                w.advance_pc();
+            }
+            Space::Const => {
+                let cdata = Arc::clone(&self.slots[slot_idx].cfg.const_data);
+                let mask;
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    mask = w.reconverge().unwrap().mask;
+                    for lane in lanes(mask) {
+                        let a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                        self.scratch_addrs[lane] = a;
+                        let v = Self::bytes_read(&cdata, a, width);
+                        w.write(dst, lane, v);
+                    }
+                }
+                // Constant cache timing: a miss pays a fixed refill penalty.
+                let mut lines = std::mem::take(&mut self.scratch_lines);
+                coalesce_lines(&self.scratch_addrs, mask, width.bytes(), &mut lines);
+                let mut l = lat.cmem_hit;
+                for &line in &lines {
+                    match self.cc.access(line * LINE_BYTES, false) {
+                        CacheOutcome::Hit => {}
+                        _ => {
+                            self.cc.fill(line * LINE_BYTES, false);
+                            l = lat.cmem_miss;
+                        }
+                    }
+                }
+                self.scratch_lines = lines;
+                let w = self.warps[widx].as_mut().unwrap();
+                w.reg_ready[dst.0 as usize] = now + l;
+                w.advance_pc();
+            }
+            Space::Shared => {
+                let mask;
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    mask = w.reconverge().unwrap().mask;
+                    for lane in lanes(mask) {
+                        self.scratch_addrs[lane] = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                    }
+                }
+                let degree = bank_conflict_degree(&self.scratch_addrs, mask) as u64;
+                self.stats.bank_conflict_cycles += degree - 1;
+                let slot = &self.slots[slot_idx];
+                let mut vals = [0u64; WARP_SIZE];
+                for lane in lanes(mask) {
+                    vals[lane] = Self::bytes_read(&slot.smem, self.scratch_addrs[lane], width);
+                }
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    w.write(dst, lane, vals[lane]);
+                }
+                w.reg_ready[dst.0 as usize] = now + lat.smem + (degree - 1);
+                w.advance_pc();
+            }
+            Space::Global | Space::Local | Space::Tex => {
+                let cfg = self.slots[slot_idx].cfg.clone();
+                let mask;
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    mask = w.reconverge().unwrap().mask;
+                    let wic = w.warp_in_cta;
+                    for lane in lanes(mask) {
+                        let mut a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                        if space == Space::Local {
+                            a = Self::local_addr(self.config.interleave_local, &cfg, wic, lane, a);
+                        }
+                        self.scratch_addrs[lane] = a;
+                    }
+                }
+                // Functional read.
+                let mut vals = [0u64; WARP_SIZE];
+                for lane in lanes(mask) {
+                    vals[lane] = gmem.read(self.scratch_addrs[lane], width);
+                }
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    for lane in lanes(mask) {
+                        w.write(dst, lane, vals[lane]);
+                    }
+                }
+                // Timing.
+                let mut lines = std::mem::take(&mut self.scratch_lines);
+                coalesce_lines(&self.scratch_addrs, mask, width.bytes(), &mut lines);
+                if self.config.perfect_memory {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    w.reg_ready[dst.0 as usize] = now + lat.l1_hit;
+                } else {
+                    let tex = space == Space::Tex;
+                    let mut misses = 0u16;
+                    for &line in &lines {
+                        let cache = if tex { &mut self.tc } else { &mut self.l1 };
+                        match cache.access(line * LINE_BYTES, false) {
+                            CacheOutcome::Hit => {}
+                            CacheOutcome::MshrMerged => {
+                                misses += 1;
+                                self.waiters.entry((tex, line)).or_default().push((widx, dst));
+                            }
+                            _ => {
+                                misses += 1;
+                                let id = self.next_req_id;
+                                self.next_req_id += 1;
+                                self.outstanding.insert(id, RespRoute::LoadFill { tex, line });
+                                self.waiters.entry((tex, line)).or_default().push((widx, dst));
+                                out.mem_requests.push(MemRequest {
+                                    id,
+                                    addr: line * LINE_BYTES,
+                                    kind: ReqKind::Load,
+                                    tex,
+                                });
+                                self.stats.offchip_txns += 1;
+                            }
+                        }
+                    }
+                    // The LSU processes one coalesced transaction per
+                    // cycle: an uncoalesced access occupies the warp's
+                    // issue slot for `lines` cycles even when it hits.
+                    let serialize = lines.len().saturating_sub(1) as u64;
+                    let w = self.warps[widx].as_mut().unwrap();
+                    if misses == 0 {
+                        w.reg_ready[dst.0 as usize] = now + lat.l1_hit + serialize;
+                    } else {
+                        w.reg_pending[dst.0 as usize] += misses;
+                    }
+                    w.next_issue_at = w.next_issue_at.max(now + 1 + serialize);
+                }
+                self.scratch_lines = lines;
+                let w = self.warps[widx].as_mut().unwrap();
+                w.advance_pc();
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store(
+        &mut self,
+        widx: usize,
+        slot_idx: usize,
+        space: Space,
+        width: Width,
+        src: Operand,
+        addr: Operand,
+        offset: i64,
+        now: u64,
+        gmem: &mut dyn GlobalMem,
+        out: &mut TickOutput,
+    ) {
+        let lat = self.config.lat;
+        let _ = lat;
+        match space {
+            Space::Param | Space::Const | Space::Tex => {
+                debug_assert!(false, "store to read-only space {space}");
+                let w = self.warps[widx].as_mut().unwrap();
+                w.advance_pc();
+            }
+            Space::Shared => {
+                let mask;
+                let mut vals = [0u64; WARP_SIZE];
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    mask = w.reconverge().unwrap().mask;
+                    for lane in lanes(mask) {
+                        self.scratch_addrs[lane] = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                        vals[lane] = Self::opval(w, src, lane);
+                    }
+                }
+                let degree = bank_conflict_degree(&self.scratch_addrs, mask) as u64;
+                self.stats.bank_conflict_cycles += degree - 1;
+                let slot = &mut self.slots[slot_idx];
+                for lane in lanes(mask) {
+                    Self::bytes_write(&mut slot.smem, self.scratch_addrs[lane], width, vals[lane]);
+                }
+                let w = self.warps[widx].as_mut().unwrap();
+                w.next_issue_at = now + 1 + (degree - 1);
+                w.advance_pc();
+            }
+            Space::Global | Space::Local => {
+                let cfg = self.slots[slot_idx].cfg.clone();
+                let mask;
+                let mut vals = [0u64; WARP_SIZE];
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    mask = w.reconverge().unwrap().mask;
+                    let wic = w.warp_in_cta;
+                    for lane in lanes(mask) {
+                        let mut a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                        if space == Space::Local {
+                            a = Self::local_addr(self.config.interleave_local, &cfg, wic, lane, a);
+                        }
+                        self.scratch_addrs[lane] = a;
+                        vals[lane] = Self::opval(w, src, lane);
+                    }
+                }
+                for lane in lanes(mask) {
+                    gmem.write(self.scratch_addrs[lane], width, vals[lane]);
+                }
+                if !self.config.perfect_memory {
+                    let mut lines = std::mem::take(&mut self.scratch_lines);
+                    coalesce_lines(&self.scratch_addrs, mask, width.bytes(), &mut lines);
+                    for &line in &lines {
+                        let outcome = self.l1.access(line * LINE_BYTES, true);
+                        // Thread-private local stores are absorbed by the L1
+                        // when resident (write-back behaviour on real GPUs);
+                        // global stores write through.
+                        if space == Space::Local {
+                            match outcome {
+                                CacheOutcome::Hit => continue,
+                                _ => self.l1.fill(line * LINE_BYTES, false),
+                            }
+                        }
+                        let id = self.next_req_id;
+                        self.next_req_id += 1;
+                        out.mem_requests.push(MemRequest {
+                            id,
+                            addr: line * LINE_BYTES,
+                            kind: ReqKind::Store,
+                            tex: false,
+                        });
+                        self.stats.offchip_txns += 1;
+                    }
+                    let serialize = lines.len().saturating_sub(1) as u64;
+                    self.scratch_lines = lines;
+                    let w = self.warps[widx].as_mut().unwrap();
+                    w.next_issue_at = w.next_issue_at.max(now + 1 + serialize);
+                }
+                let w = self.warps[widx].as_mut().unwrap();
+                w.advance_pc();
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_atomic(
+        &mut self,
+        widx: usize,
+        slot_idx: usize,
+        op: AtomOp,
+        space: Space,
+        dst: Reg,
+        addr: Operand,
+        src: Operand,
+        cas_cmp: Operand,
+        now: u64,
+        gmem: &mut dyn GlobalMem,
+        out: &mut TickOutput,
+    ) {
+        let lat = self.config.lat;
+        let mask;
+        let mut addrs = [0u64; WARP_SIZE];
+        let mut srcs = [0u64; WARP_SIZE];
+        let mut cmps = [0u64; WARP_SIZE];
+        {
+            let w = self.warps[widx].as_mut().unwrap();
+            mask = w.reconverge().unwrap().mask;
+            for lane in lanes(mask) {
+                addrs[lane] = Self::opval(w, addr, lane);
+                srcs[lane] = Self::opval(w, src, lane);
+                cmps[lane] = Self::opval(w, cas_cmp, lane);
+            }
+        }
+        match space {
+            Space::Shared => {
+                let slot = &mut self.slots[slot_idx];
+                let mut olds = [0u64; WARP_SIZE];
+                for lane in lanes(mask) {
+                    let old = Self::bytes_read(&slot.smem, addrs[lane], Width::B64);
+                    let (new, o) = op.apply(old, srcs[lane], cmps[lane]);
+                    Self::bytes_write(&mut slot.smem, addrs[lane], Width::B64, new);
+                    olds[lane] = o;
+                }
+                let w = self.warps[widx].as_mut().unwrap();
+                for lane in lanes(mask) {
+                    w.write(dst, lane, olds[lane]);
+                }
+                w.reg_ready[dst.0 as usize] = now + lat.smem + nlanes_extra(mask);
+                w.advance_pc();
+            }
+            _ => {
+                // Global atomics execute at the memory partition; lanes are
+                // applied in lane order (deterministic serialization).
+                let mut olds = [0u64; WARP_SIZE];
+                for lane in lanes(mask) {
+                    olds[lane] = gmem.atom(op, addrs[lane], srcs[lane], cmps[lane]);
+                }
+                {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    for lane in lanes(mask) {
+                        w.write(dst, lane, olds[lane]);
+                    }
+                }
+                if self.config.perfect_memory {
+                    let w = self.warps[widx].as_mut().unwrap();
+                    w.reg_ready[dst.0 as usize] = now + lat.l1_hit;
+                } else {
+                    // One round-trip per distinct line.
+                    let mut lines = std::mem::take(&mut self.scratch_lines);
+                    coalesce_lines(&addrs, mask, 8, &mut lines);
+                    {
+                        let w = self.warps[widx].as_mut().unwrap();
+                        w.reg_pending[dst.0 as usize] += lines.len() as u16;
+                    }
+                    for &line in &lines {
+                        let id = self.next_req_id;
+                        self.next_req_id += 1;
+                        self.outstanding
+                            .insert(id, RespRoute::Atomic { warp: widx, reg: dst });
+                        out.mem_requests.push(MemRequest {
+                            id,
+                            addr: line * LINE_BYTES,
+                            kind: ReqKind::Atomic,
+                            tex: false,
+                        });
+                        self.stats.offchip_txns += 1;
+                    }
+                    self.scratch_lines = lines;
+                }
+                let w = self.warps[widx].as_mut().unwrap();
+                w.advance_pc();
+            }
+        }
+    }
+}
+
+/// Serialization overhead for multi-lane shared atomics.
+fn nlanes_extra(mask: u32) -> u64 {
+    (mask.count_ones() as u64).saturating_sub(1)
+}

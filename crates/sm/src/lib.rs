@@ -1,0 +1,651 @@
+//! # ggpu-sm — the streaming-multiprocessor core model
+//!
+//! This crate models a single GPU core (SM) at cycle granularity:
+//!
+//! * [`Warp`] — SIMT reconvergence stack (immediate post-dominator
+//!   reconvergence), per-lane registers, and scoreboard timing.
+//! * [`SmCore`] — CTA slots with occupancy-limited placement, four warp
+//!   schedulers ([`SchedPolicy`]: LRR / GTO / OLD / two-level), functional
+//!   execution of the `ggpu-isa` instruction set, memory-access coalescing
+//!   into 128-byte transactions, shared-memory bank-conflict serialization,
+//!   an L1/constant/texture cache front end, and per-cycle stall
+//!   classification ([`StallReason`]) feeding the paper's Figure 5.
+//! * [`SmStats`] — instruction mix (Fig 8), memory-space mix (Fig 9), warp
+//!   occupancy histogram (Fig 10), stall breakdown (Fig 5).
+//!
+//! The SM is driven by the whole-GPU simulator in `ggpu-sim`, which provides
+//! functional global memory ([`GlobalMem`]), routes [`MemRequest`]s through
+//! the interconnect to L2/DRAM, and dispatches CTAs and CDP child grids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalesce;
+mod config;
+mod core;
+mod stats;
+mod warp;
+
+pub use crate::core::{
+    CompletedCta, CtaConfig, DeviceLaunch, GlobalMem, MemRequest, ReqKind, SmCore, TickOutput,
+};
+pub use coalesce::{bank_conflict_degree, coalesce_lines, SMEM_BANKS};
+pub use config::{LatencyConfig, SchedPolicy, SmConfig};
+pub use stats::{SmStats, StallBreakdown, StallReason};
+pub use warp::{lane_mask, lanes, SimtEntry, WaitKind, Warp, WarpBlock, FULL_MASK, NO_RECONV};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggpu_isa::{
+        AtomOp, CmpOp, KernelBuilder, LaunchDims, Operand, Program, ScalarType, Space, SpecialReg,
+        Width,
+    };
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Simple functional memory for tests.
+    #[derive(Default)]
+    struct TestMem {
+        data: HashMap<u64, u8>,
+    }
+
+    impl GlobalMem for TestMem {
+        fn read(&mut self, addr: u64, width: Width) -> u64 {
+            let mut v = 0u64;
+            for i in 0..width.bytes() {
+                v |= (*self.data.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
+            }
+            v
+        }
+        fn write(&mut self, addr: u64, width: Width, value: u64) {
+            for i in 0..width.bytes() {
+                self.data.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        fn atom(&mut self, op: AtomOp, addr: u64, src: u64, cas: u64) -> u64 {
+            let old = self.read(addr, Width::B64);
+            let (new, o) = op.apply(old, src, cas);
+            self.write(addr, Width::B64, new);
+            o
+        }
+    }
+
+    fn run_to_completion(
+        sm: &mut SmCore,
+        mem: &mut TestMem,
+        max_cycles: u64,
+    ) -> (u64, Vec<DeviceLaunch>) {
+        let mut launches = Vec::new();
+        for now in 0..max_cycles {
+            let mut out = TickOutput::default();
+            sm.tick(now, mem, false, &mut out);
+            for req in out.mem_requests {
+                if req.kind != ReqKind::Store {
+                    sm.mem_response(req.id, now + 1);
+                }
+            }
+            launches.extend(out.launches);
+            if sm.is_idle() {
+                return (now, launches);
+            }
+        }
+        panic!("kernel did not finish within {max_cycles} cycles");
+    }
+
+    fn cta_cfg(program: &Program, dims: LaunchDims, params: Vec<u64>) -> CtaConfig {
+        let _ = program;
+        CtaConfig {
+            kernel_id: ggpu_isa::KernelId(0),
+            grid_handle: 1,
+            cta_linear: 0,
+            dims,
+            params: Arc::new(params),
+            const_data: Arc::new(Vec::new()),
+            local_base: 1 << 30,
+            local_stride: 0,
+        }
+    }
+
+    /// out[tid] = tid * 3 kernel used by several tests.
+    fn simple_program() -> Program {
+        let mut b = KernelBuilder::new("triple");
+        let tid = b.global_tid();
+        let v = b.reg();
+        b.imul(v, tid, Operand::imm(3));
+        let a = b.reg();
+        b.imul(a, tid, Operand::imm(8));
+        let base = b.reg();
+        b.ld_param(base, 0);
+        b.iadd(a, a, Operand::reg(base));
+        b.st(Space::Global, Width::B64, Operand::reg(v), a, 0);
+        b.exit();
+        let k = b.finish();
+        k.validate().unwrap();
+        let mut p = Program::new();
+        p.add(k);
+        p
+    }
+
+    #[test]
+    fn runs_simple_kernel_and_writes_results() {
+        let program = Arc::new(simple_program());
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        let dims = LaunchDims::linear(1, 64);
+        assert!(sm.try_launch_cta(CtaConfig {
+            cta_linear: 0,
+            ..cta_cfg(&program, dims, vec![0x1000])
+        }));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        for tid in 0..64u64 {
+            assert_eq!(mem.read(0x1000 + tid * 8, Width::B64), tid * 3, "tid {tid}");
+        }
+        assert_eq!(sm.stats().ctas_completed, 1);
+        assert!(sm.stats().issued > 0);
+    }
+
+    #[test]
+    fn occupancy_histogram_full_warps() {
+        let program = Arc::new(simple_program());
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x1000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        assert!(sm.stats().occupancy_fraction(29, 32) > 0.99);
+    }
+
+    #[test]
+    fn partial_warp_occupancy() {
+        let program = Arc::new(simple_program());
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        // 40 threads: one full warp + one 8-lane warp.
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 40), vec![0x1000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        assert!(sm.stats().occupancy_fraction(5, 8) > 0.0);
+    }
+
+    #[test]
+    fn divergent_kernel_reconverges_and_counts_divergence() {
+        // if (tid & 1) v = 10 else v = 20; out[tid] = v
+        let mut b = KernelBuilder::new("diverge");
+        let tid = b.global_tid();
+        let bit = b.reg();
+        b.iand(bit, tid, Operand::imm(1));
+        let p = b.cmp_s(CmpOp::Ne, Operand::reg(bit), Operand::imm(0));
+        let v = b.reg();
+        b.if_then_else(
+            p,
+            |b| b.mov(v, Operand::imm(10)),
+            |b| b.mov(v, Operand::imm(20)),
+        );
+        let a = b.reg();
+        b.imul(a, tid, Operand::imm(8));
+        let base = b.reg();
+        b.ld_param(base, 0);
+        b.iadd(a, a, Operand::reg(base));
+        b.st(Space::Global, Width::B64, Operand::reg(v), a, 0);
+        b.exit();
+        let mut p2 = Program::new();
+        p2.add(b.finish());
+        let program = Arc::new(p2);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![0x2000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        for tid in 0..32u64 {
+            let want = if tid & 1 == 1 { 10 } else { 20 };
+            assert_eq!(mem.read(0x2000 + tid * 8, Width::B64), want, "tid {tid}");
+        }
+        assert!(sm.stats().occupancy[15] > 0, "16-lane issues expected");
+    }
+
+    #[test]
+    fn loop_kernel_sums_range() {
+        // out[0] = sum(0..100) computed by thread 0.
+        let mut b = KernelBuilder::new("sumloop");
+        let tid = b.global_tid();
+        let iszero = b.cmp_s(CmpOp::Eq, Operand::reg(tid), Operand::imm(0));
+        b.if_then(iszero, |b| {
+            let acc = b.reg();
+            b.mov(acc, Operand::imm(0));
+            b.for_range(Operand::imm(0), Operand::imm(100), 1, |b, i| {
+                b.iadd(acc, acc, Operand::reg(i));
+            });
+            let base = b.reg();
+            b.ld_param(base, 0);
+            b.st(Space::Global, Width::B64, Operand::reg(acc), base, 0);
+        });
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![0x3000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 100_000);
+        assert_eq!(mem.read(0x3000, Width::B64), 4950);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip_with_barrier() {
+        // smem[tid] = tid; barrier; out[tid] = smem[31-tid]
+        let mut b = KernelBuilder::new("smem");
+        let smem_base = b.alloc_smem(32 * 8);
+        let tid = b.global_tid();
+        let sa = b.reg();
+        b.imul(sa, tid, Operand::imm(8));
+        b.iadd(sa, sa, Operand::imm(smem_base as i64));
+        b.st(Space::Shared, Width::B64, Operand::reg(tid), sa, 0);
+        b.bar();
+        let rtid = b.reg();
+        b.isub(rtid, Operand::imm(31), Operand::reg(tid));
+        let ra = b.reg();
+        b.imul(ra, rtid, Operand::imm(8));
+        b.iadd(ra, ra, Operand::imm(smem_base as i64));
+        let v = b.reg();
+        b.ld(Space::Shared, Width::B64, v, ra, 0);
+        let base = b.reg();
+        b.ld_param(base, 0);
+        let oa = b.reg();
+        b.imul(oa, tid, Operand::imm(8));
+        b.iadd(oa, oa, Operand::reg(base));
+        b.st(Space::Global, Width::B64, Operand::reg(v), oa, 0);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![0x4000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        for tid in 0..32u64 {
+            assert_eq!(mem.read(0x4000 + tid * 8, Width::B64), 31 - tid);
+        }
+        assert!(sm.stats().space_count(Space::Shared) > 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_across_warps() {
+        // All threads write smem[tid]; barrier; read across warp boundary.
+        let mut b = KernelBuilder::new("xwarp");
+        let off = b.alloc_smem(64 * 8);
+        let tid = b.global_tid();
+        let sa = b.reg();
+        b.imul(sa, tid, Operand::imm(8));
+        b.iadd(sa, sa, Operand::imm(off as i64));
+        let v0 = b.reg();
+        b.iadd(v0, tid, Operand::imm(100));
+        b.st(Space::Shared, Width::B64, Operand::reg(v0), sa, 0);
+        b.bar();
+        let other = b.reg();
+        b.iadd(other, tid, Operand::imm(32));
+        b.alu(ggpu_isa::AluOp::IRem, other, Operand::reg(other), Operand::imm(64));
+        let oa = b.reg();
+        b.imul(oa, other, Operand::imm(8));
+        b.iadd(oa, oa, Operand::imm(off as i64));
+        let v = b.reg();
+        b.ld(Space::Shared, Width::B64, v, oa, 0);
+        let base = b.reg();
+        b.ld_param(base, 0);
+        let ga = b.reg();
+        b.imul(ga, tid, Operand::imm(8));
+        b.iadd(ga, ga, Operand::reg(base));
+        b.st(Space::Global, Width::B64, Operand::reg(v), ga, 0);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x8000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 20_000);
+        for tid in 0..64u64 {
+            let want = (tid + 32) % 64 + 100;
+            assert_eq!(mem.read(0x8000 + tid * 8, Width::B64), want, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn global_atomics_accumulate() {
+        let mut b = KernelBuilder::new("atomic");
+        let base = b.reg();
+        b.ld_param(base, 0);
+        let old = b.reg();
+        b.atom(
+            AtomOp::Add,
+            Space::Global,
+            old,
+            base,
+            Operand::imm(1),
+            Operand::imm(0),
+        );
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 128), vec![0x9000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 20_000);
+        assert_eq!(mem.read(0x9000, Width::B64), 128);
+    }
+
+    #[test]
+    fn cdp_launch_emitted_and_dsync_blocks() {
+        // Thread 0 launches a child grid and syncs on it.
+        let mut b = KernelBuilder::new("parent");
+        let tid = b.global_tid();
+        let z = b.cmp_s(CmpOp::Eq, Operand::reg(tid), Operand::imm(0));
+        b.if_then(z, |b| {
+            b.launch(1, Operand::imm(2), Operand::imm(32), Operand::imm(0x100), 1);
+            b.dsync();
+        });
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let mut cb = KernelBuilder::new("child");
+        cb.exit();
+        p.add(cb.finish());
+        let program = Arc::new(p);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
+        let mut mem = TestMem::default();
+        mem.write(0x100, Width::B64, 0xAB);
+
+        let mut launches: Vec<DeviceLaunch> = Vec::new();
+        let mut released = false;
+        for now in 0..20_000 {
+            let mut out = TickOutput::default();
+            sm.tick(now, &mut mem, false, &mut out);
+            for req in out.mem_requests {
+                if req.kind != ReqKind::Store {
+                    sm.mem_response(req.id, now + 1);
+                }
+            }
+            if !out.launches.is_empty() {
+                launches.extend(out.launches);
+            }
+            if !launches.is_empty() && now > 500 && !released {
+                sm.child_grid_done(launches[0].parent_slot, None);
+                released = true;
+            }
+            if sm.is_idle() {
+                break;
+            }
+        }
+        assert!(released, "parent should have waited on dsync");
+        assert!(sm.is_idle(), "parent must finish after child completes");
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].kernel, 1);
+        assert_eq!(launches[0].grid_x, 2);
+        assert_eq!(launches[0].block_x, 32);
+        assert_eq!(launches[0].params, vec![0xAB]);
+        assert_eq!(sm.stats().device_launches, 1);
+    }
+
+    #[test]
+    fn occupancy_limits_respected() {
+        let mut b = KernelBuilder::new("fat");
+        b.set_regs_per_thread(64);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        // 64 regs × 128 threads = 8192 regs per CTA; 65536/8192 = 8 CTAs.
+        let dims = LaunchDims::linear(100, 128);
+        let mut placed = 0;
+        while sm.try_launch_cta(CtaConfig {
+            cta_linear: placed,
+            ..cta_cfg(&program, dims, vec![])
+        }) {
+            placed += 1;
+        }
+        assert_eq!(placed, 8);
+    }
+
+    #[test]
+    fn stall_classification_memory_dominates_under_misses() {
+        // Strided global loads guarantee misses and memory stalls.
+        let mut b = KernelBuilder::new("misser");
+        let tid = b.global_tid();
+        let acc = b.reg();
+        b.mov(acc, Operand::imm(0));
+        b.for_range(Operand::imm(0), Operand::imm(32), 1, |b, i| {
+            let a = b.reg();
+            b.imul(a, i, Operand::imm(32));
+            b.iadd(a, a, Operand::reg(tid));
+            b.imul(a, a, Operand::imm(4096));
+            let v = b.reg();
+            b.ld(Space::Global, Width::B64, v, a, 0);
+            b.iadd(acc, acc, Operand::reg(v));
+        });
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
+        let mut mem = TestMem::default();
+
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        let mut finished = false;
+        for now in 0..1_000_000 {
+            let mut out = TickOutput::default();
+            sm.tick(now, &mut mem, false, &mut out);
+            for req in out.mem_requests {
+                if req.kind != ReqKind::Store {
+                    pending.push((req.id, now + 200));
+                }
+            }
+            pending.retain(|&(id, t)| {
+                if t <= now {
+                    sm.mem_response(id, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            if sm.is_idle() {
+                finished = true;
+                break;
+            }
+        }
+        assert!(finished, "kernel hung");
+        let stalls = &sm.stats().stalls;
+        assert!(
+            stalls.fraction(StallReason::MemLatency) > 0.5,
+            "memory stalls should dominate: {stalls:?}"
+        );
+        assert!(sm.l1_stats().miss_rate() > 0.9);
+    }
+
+    #[test]
+    fn scheduler_policies_all_complete() {
+        for policy in [
+            SchedPolicy::Lrr,
+            SchedPolicy::Gto,
+            SchedPolicy::Old,
+            SchedPolicy::TwoLevel,
+        ] {
+            let program = Arc::new(simple_program());
+            let cfg = SmConfig {
+                policy,
+                ..SmConfig::default()
+            };
+            let mut sm = SmCore::new(cfg, Arc::clone(&program));
+            sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 128), vec![0x1000]));
+            let mut mem = TestMem::default();
+            run_to_completion(&mut sm, &mut mem, 50_000);
+            for tid in 0..128u64 {
+                assert_eq!(
+                    mem.read(0x1000 + tid * 8, Width::B64),
+                    tid * 3,
+                    "{policy}: tid {tid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_memory_is_faster() {
+        let build = |perfect: bool| {
+            let mut b = KernelBuilder::new("reader");
+            let tid = b.global_tid();
+            let acc = b.reg();
+            b.mov(acc, Operand::imm(0));
+            b.for_range(Operand::imm(0), Operand::imm(16), 1, |b, i| {
+                let a = b.reg();
+                b.imul(a, i, Operand::imm(32));
+                b.iadd(a, a, Operand::reg(tid));
+                b.imul(a, a, Operand::imm(4096));
+                let v = b.reg();
+                b.ld(Space::Global, Width::B64, v, a, 0);
+                b.iadd(acc, acc, Operand::reg(v));
+            });
+            b.exit();
+            let mut p = Program::new();
+            p.add(b.finish());
+            let program = Arc::new(p);
+            let cfg = SmConfig {
+                perfect_memory: perfect,
+                ..SmConfig::default()
+            };
+            let mut sm = SmCore::new(cfg, Arc::clone(&program));
+            sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
+            let mut mem = TestMem::default();
+            let mut pending: Vec<(u64, u64)> = Vec::new();
+            for now in 0..1_000_000 {
+                let mut out = TickOutput::default();
+                sm.tick(now, &mut mem, false, &mut out);
+                for req in out.mem_requests {
+                    if req.kind != ReqKind::Store {
+                        pending.push((req.id, now + 300));
+                    }
+                }
+                pending.retain(|&(id, t)| {
+                    if t <= now {
+                        sm.mem_response(id, now);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if sm.is_idle() {
+                    return now;
+                }
+            }
+            panic!("hang");
+        };
+        let slow = build(false);
+        let fast = build(true);
+        assert!(
+            fast * 2 < slow,
+            "perfect memory ({fast}) should be much faster than 300-cycle memory ({slow})"
+        );
+    }
+
+    #[test]
+    fn sreg_special_registers() {
+        let mut b = KernelBuilder::new("sregs");
+        let lane = b.reg();
+        b.sreg(lane, SpecialReg::LaneId);
+        let warp = b.reg();
+        b.sreg(warp, SpecialReg::WarpId);
+        let ntid = b.reg();
+        b.sreg(ntid, SpecialReg::NTidX);
+        let tid = b.global_tid();
+        let v = b.reg();
+        b.imul(v, warp, Operand::imm(1000));
+        b.iadd(v, v, Operand::reg(lane));
+        let t = b.reg();
+        b.imul(t, ntid, Operand::imm(1_000_000));
+        b.iadd(v, v, Operand::reg(t));
+        let base = b.reg();
+        b.ld_param(base, 0);
+        let a = b.reg();
+        b.imul(a, tid, Operand::imm(8));
+        b.iadd(a, a, Operand::reg(base));
+        b.st(Space::Global, Width::B64, Operand::reg(v), a, 0);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x5000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        for tid in 0..64u64 {
+            let want = (tid % 32) + (tid / 32) * 1000 + 64 * 1_000_000;
+            assert_eq!(mem.read(0x5000 + tid * 8, Width::B64), want, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn setp_float_comparison_in_kernel() {
+        let mut b = KernelBuilder::new("fcmp");
+        let p = b.reg();
+        b.setp(
+            p,
+            CmpOp::Gt,
+            ScalarType::F64,
+            Operand::f64imm(2.5),
+            Operand::f64imm(1.5),
+        );
+        let v = b.reg();
+        b.sel(v, p, Operand::imm(7), Operand::imm(9));
+        let base = b.reg();
+        b.ld_param(base, 0);
+        b.st(Space::Global, Width::B64, Operand::reg(v), base, 0);
+        b.exit();
+        let mut prog = Program::new();
+        prog.add(b.finish());
+        let program = Arc::new(prog);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 1), vec![0x6000]));
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        assert_eq!(mem.read(0x6000, Width::B64), 7);
+    }
+
+    #[test]
+    fn local_memory_is_thread_private() {
+        let mut b = KernelBuilder::new("local");
+        b.set_local_bytes(8);
+        let tid = b.global_tid();
+        let zero = b.reg();
+        b.mov(zero, Operand::imm(0));
+        b.st(Space::Local, Width::B64, Operand::reg(tid), zero, 0);
+        let v = b.reg();
+        b.ld(Space::Local, Width::B64, v, zero, 0);
+        let base = b.reg();
+        b.ld_param(base, 0);
+        let a = b.reg();
+        b.imul(a, tid, Operand::imm(8));
+        b.iadd(a, a, Operand::reg(base));
+        b.st(Space::Global, Width::B64, Operand::reg(v), a, 0);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        let mut cfg = cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x7000]);
+        cfg.local_stride = 8;
+        sm.try_launch_cta(cfg);
+        let mut mem = TestMem::default();
+        run_to_completion(&mut sm, &mut mem, 20_000);
+        for tid in 0..64u64 {
+            assert_eq!(mem.read(0x7000 + tid * 8, Width::B64), tid, "tid {tid}");
+        }
+        assert!(sm.stats().space_count(Space::Local) > 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Gene-sequence clustering two ways: the CPU nGIA-style reference and the
+//! simulated-GPU CLUSTER benchmark, with an architecture question on top —
+//! does the GPU clustering kernel care about L1 capacity?
+//!
+//! ```text
+//! cargo run --release --example clustering_pipeline
+//! ```
+
+use ggpu_core::{benchmark, GpuConfig, Scale};
+use ggpu_genomics::{greedy_cluster, sequence_family, ClusterParams};
+use rand::SeedableRng;
+
+fn main() {
+    // --- CPU reference clustering over synthetic families ---------------
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut seqs: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..5 {
+        for s in sequence_family(6, 220, 0.03, 0.002, &mut rng) {
+            seqs.push(s.codes().to_vec());
+        }
+    }
+    let clusters = greedy_cluster(&seqs, ClusterParams::default());
+    println!(
+        "CPU nGIA: {} sequences -> {} clusters",
+        seqs.len(),
+        clusters.len()
+    );
+    for (i, c) in clusters.iter().enumerate() {
+        println!(
+            "  cluster {i}: rep seq {} with {} members",
+            c.representative,
+            c.members.len()
+        );
+    }
+
+    // --- The same algorithm as a GPU workload ---------------------------
+    let bench = benchmark(Scale::Tiny, "CLUSTER").expect("CLUSTER is a suite benchmark");
+    println!("\nGPU CLUSTER benchmark under two L1 configurations:");
+    for (label, l1_bytes) in [("128KB L1 (baseline)", 128 * 1024u64), ("no L1", 0)] {
+        let mut config = GpuConfig::rtx3070();
+        config.sm.l1.bytes = l1_bytes;
+        let r = bench.run(&config, false);
+        assert!(r.verified);
+        println!(
+            "  {label:22} kernel cycles {:>9}, L2 miss {:>5.1}%, rounds {}",
+            r.kernel_cycles,
+            r.stats.l2.miss_rate() * 100.0,
+            r.stats.host.kernel_launches,
+        );
+    }
+
+    // And the CDP variant, which runs the whole greedy loop on-device.
+    let config = GpuConfig::rtx3070();
+    let cdp = bench.run(&config, true);
+    assert!(cdp.verified);
+    println!(
+        "  CDP variant: 1 host launch, {} device-side child grids",
+        cdp.stats.sm.device_launches
+    );
+}

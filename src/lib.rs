@@ -1,0 +1,1 @@
+//! Genomics-GPU umbrella crate.

@@ -1,0 +1,66 @@
+//! The bundled mini-datasets parse correctly and flow through the
+//! substrate (FASTA → MSA, FASTQ → mapper).
+
+use ggpu_genomics::{
+    center_star, parse_fasta, parse_fastq, Blosum62, DnaSeq, GapModel, Mapper, MapperParams,
+};
+
+#[test]
+fn mini_proteins_parse_and_align() {
+    let text = std::fs::read_to_string("data/mini_proteins.fasta").expect("dataset present");
+    let recs = parse_fasta(&text).expect("valid FASTA");
+    assert_eq!(recs.len(), 5);
+    assert!(recs.iter().all(|r| r.seq.len() == 40));
+    let family: Vec<Vec<u8>> = recs
+        .iter()
+        .filter(|r| r.id.starts_with("family1"))
+        .map(|r| r.seq.clone())
+        .collect();
+    let msa = center_star(&family, &Blosum62, GapModel::Affine { open: 11, extend: 1 });
+    assert_eq!(msa.rows.len(), 3);
+    assert!(msa.sp_score(&Blosum62, 5) > 0);
+}
+
+#[test]
+fn mini_reads_parse_with_qualities() {
+    let text = std::fs::read_to_string("data/mini_reads.fastq").expect("dataset present");
+    let recs = parse_fastq(&text).expect("valid FASTQ");
+    assert_eq!(recs.len(), 3);
+    for r in &recs {
+        assert_eq!(r.seq.len(), 20);
+        assert_eq!(r.qual.len(), 20);
+        assert!(r.phred().iter().all(|&q| q <= 60));
+    }
+    // The third read has a degraded tail ('5' = Q20 vs 'I' = Q40).
+    assert!(recs[2].phred()[19] < recs[2].phred()[0]);
+}
+
+#[test]
+fn mini_reads_map_onto_mini_genome() {
+    let gtext = std::fs::read_to_string("data/mini_genome.fasta").expect("dataset present");
+    let genome_rec = &parse_fasta(&gtext).expect("valid FASTA")[0];
+    let genome: DnaSeq = std::str::from_utf8(&genome_rec.seq)
+        .expect("ascii")
+        .parse()
+        .expect("ACGT only");
+    assert_eq!(genome.len(), 120);
+
+    let rtext = std::fs::read_to_string("data/mini_reads.fastq").expect("dataset present");
+    let reads = parse_fastq(&rtext).expect("valid FASTQ");
+    let mapper = Mapper::new(
+        genome,
+        MapperParams {
+            seed_len: 12,
+            ..MapperParams::default()
+        },
+    );
+    let mut mapped = 0;
+    for r in &reads {
+        let seq: DnaSeq = std::str::from_utf8(&r.seq).expect("ascii").parse().expect("ACGT");
+        if let Some(hit) = mapper.map(&seq) {
+            mapped += 1;
+            assert!(hit.alignment.score > 0);
+        }
+    }
+    assert_eq!(mapped, 3, "all bundled reads come from the bundled genome");
+}

@@ -1,0 +1,174 @@
+//! Device-semantics tests: constant-memory binding, CDP inheritance,
+//! multi-kernel programs, and host-API edge cases.
+
+use ggpu_isa::{CmpOp, KernelBuilder, LaunchDims, Operand, Program, Space, Width};
+use ggpu_sim::{Gpu, GpuConfig};
+
+/// Kernel: out[tid] = const[tid*8] (reads one u64 per thread).
+fn const_reader() -> Program {
+    let mut b = KernelBuilder::new("const_reader");
+    b.set_cmem_bytes(256);
+    let tid = b.global_tid();
+    let ca = b.reg();
+    b.imul(ca, tid, Operand::imm(8));
+    let v = b.reg();
+    b.ld(Space::Const, Width::B64, v, ca, 0);
+    let out = b.reg();
+    b.ld_param(out, 0);
+    let oa = b.reg();
+    b.imul(oa, tid, Operand::imm(8));
+    b.iadd(oa, oa, Operand::reg(out));
+    b.st(Space::Global, Width::B64, Operand::reg(v), oa, 0);
+    b.exit();
+    let mut p = Program::new();
+    p.add(b.finish());
+    p
+}
+
+#[test]
+fn constant_memory_binding_is_visible_to_kernels() {
+    let p = const_reader();
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    let data: Vec<u8> = (0..16u64).flat_map(|i| (i * 11).to_le_bytes()).collect();
+    gpu.bind_constants(ggpu_isa::KernelId(0), data);
+    let out = gpu.malloc(16 * 8);
+    gpu.run_kernel(ggpu_isa::KernelId(0), LaunchDims::linear(1, 16), &[out.0]);
+    for i in 0..16u64 {
+        assert_eq!(gpu.memory().read_u64(out.offset(i * 8)), i * 11);
+    }
+}
+
+#[test]
+fn unbound_constants_read_zero() {
+    let p = const_reader();
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    let out = gpu.malloc(16 * 8);
+    gpu.run_kernel(ggpu_isa::KernelId(0), LaunchDims::linear(1, 16), &[out.0]);
+    for i in 0..16u64 {
+        assert_eq!(gpu.memory().read_u64(out.offset(i * 8)), 0);
+    }
+}
+
+#[test]
+fn cdp_children_inherit_their_kernels_constants() {
+    // Parent (kernel 0) launches child (kernel 1); the child reads its own
+    // const binding.
+    let mut p = Program::new();
+    let mut pb = KernelBuilder::new("parent");
+    let tid = pb.global_tid();
+    let z = pb.cmp_s(CmpOp::Eq, Operand::reg(tid), Operand::imm(0));
+    pb.if_then(z, |b| {
+        let pblock = b.reg();
+        b.ld_param(pblock, 1);
+        let out = b.reg();
+        b.ld_param(out, 0);
+        b.st(Space::Global, Width::B64, Operand::reg(out), pblock, 0);
+        b.launch(1, Operand::imm(1), Operand::imm(16), Operand::reg(pblock), 1);
+        b.dsync();
+    });
+    pb.exit();
+    p.add(pb.finish());
+
+    let mut cb = KernelBuilder::new("child");
+    cb.set_cmem_bytes(256);
+    let ctid = cb.global_tid();
+    let ca = cb.reg();
+    cb.imul(ca, ctid, Operand::imm(8));
+    let v = cb.reg();
+    cb.ld(Space::Const, Width::B64, v, ca, 0);
+    let out = cb.reg();
+    cb.ld_param(out, 0);
+    let oa = cb.reg();
+    cb.imul(oa, ctid, Operand::imm(8));
+    cb.iadd(oa, oa, Operand::reg(out));
+    cb.st(Space::Global, Width::B64, Operand::reg(v), oa, 0);
+    cb.exit();
+    p.add(cb.finish());
+
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    let data: Vec<u8> = (0..16u64).flat_map(|i| (1000 + i).to_le_bytes()).collect();
+    gpu.bind_constants(ggpu_isa::KernelId(1), data);
+    let out = gpu.malloc(16 * 8);
+    let pblock = gpu.malloc(8);
+    gpu.run_kernel(
+        ggpu_isa::KernelId(0),
+        LaunchDims::linear(1, 32),
+        &[out.0, pblock.0],
+    );
+    for i in 0..16u64 {
+        assert_eq!(
+            gpu.memory().read_u64(out.offset(i * 8)),
+            1000 + i,
+            "child const at {i}"
+        );
+    }
+}
+
+#[test]
+fn many_small_grids_complete_in_order() {
+    // out[k] = k written by grid k; later grids read earlier grids' output
+    // (default-stream serialization).
+    let mut b = KernelBuilder::new("chain");
+    let out = b.reg();
+    b.ld_param(out, 0);
+    let k = b.reg();
+    b.ld_param(k, 1);
+    // out[k] = (k == 0) ? 1 : out[k-1] + 1
+    let prev = b.reg();
+    let pa = b.reg();
+    b.imul(pa, k, Operand::imm(8));
+    b.iadd(pa, pa, Operand::reg(out));
+    b.ld(Space::Global, Width::B64, prev, pa, -8);
+    let is0 = b.cmp_s(CmpOp::Eq, Operand::reg(k), Operand::imm(0));
+    let v = b.reg();
+    b.iadd(v, prev, Operand::imm(1));
+    b.sel(v, is0, Operand::imm(1), Operand::reg(v));
+    b.st(Space::Global, Width::B64, Operand::reg(v), pa, 0);
+    b.exit();
+    let mut p = Program::new();
+    let kid = p.add(b.finish());
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    let out = gpu.malloc(32 * 8);
+    for k in 0..32u64 {
+        gpu.launch(kid, LaunchDims::linear(1, 1), &[out.0, k]);
+    }
+    gpu.synchronize();
+    for k in 0..32u64 {
+        assert_eq!(gpu.memory().read_u64(out.offset(k * 8)), k + 1);
+    }
+    assert_eq!(gpu.stats().host.kernel_launches, 32);
+}
+
+#[test]
+fn memcpy_between_launches_is_coherent() {
+    // Host overwrites device data between serialized grids.
+    let mut b = KernelBuilder::new("copy");
+    let src = b.reg();
+    b.ld_param(src, 0);
+    let dst = b.reg();
+    b.ld_param(dst, 1);
+    let v = b.reg();
+    b.ld(Space::Global, Width::B64, v, src, 0);
+    b.st(Space::Global, Width::B64, Operand::reg(v), dst, 0);
+    b.exit();
+    let mut p = Program::new();
+    let kid = p.add(b.finish());
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    let a = gpu.malloc(8);
+    let r1 = gpu.malloc(8);
+    let r2 = gpu.malloc(8);
+    gpu.memcpy_h2d(a, &7u64.to_le_bytes());
+    gpu.run_kernel(kid, LaunchDims::linear(1, 1), &[a.0, r1.0]);
+    gpu.memcpy_h2d(a, &9u64.to_le_bytes());
+    gpu.run_kernel(kid, LaunchDims::linear(1, 1), &[a.0, r2.0]);
+    assert_eq!(gpu.memory().read_u64(r1), 7);
+    assert_eq!(gpu.memory().read_u64(r2), 9);
+}
+
+#[test]
+fn synchronize_with_no_work_is_free() {
+    let p = const_reader();
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    assert_eq!(gpu.synchronize(), 0);
+    assert!(!gpu.busy());
+}
