@@ -30,7 +30,9 @@ fn main() {
         }
     }
     if names.is_empty() {
-        eprintln!("usage: figures [all|table1|table2|table3|fig2..fig22]... [--scale tiny|small|paper]");
+        eprintln!(
+            "usage: figures [all|table1|table2|table3|fig2..fig22]... [--scale tiny|small|paper]"
+        );
         eprintln!("experiments: {}", figures::ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }

@@ -50,11 +50,17 @@ pub fn table1() {
         vec!["Warp Size".into(), "32".into()],
         vec![
             "Constant Cache Size / Core".into(),
-            format!("{}KB (256-way, 128B lines, LRU)", c.sm.const_cache.bytes / 1024),
+            format!(
+                "{}KB (256-way, 128B lines, LRU)",
+                c.sm.const_cache.bytes / 1024
+            ),
         ],
         vec![
             "Texture Cache Size / Core".into(),
-            format!("{}KB (64-way, 128B lines, LRU)", c.sm.tex_cache.bytes / 1024),
+            format!(
+                "{}KB (64-way, 128B lines, LRU)",
+                c.sm.tex_cache.bytes / 1024
+            ),
         ],
         vec![
             "Number of Registers / Core".into(),
@@ -78,7 +84,10 @@ pub fn table1() {
         ],
         vec![
             "L2 Cache".into(),
-            format!("512KB, [{}MB], 8MB, 16MB, 128MB", c.l2_total() / (1024 * 1024)),
+            format!(
+                "512KB, [{}MB], 8MB, 16MB, 128MB",
+                c.l2_total() / (1024 * 1024)
+            ),
         ],
         vec![
             "Memory Controller".into(),
@@ -141,7 +150,16 @@ pub fn table3(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["Benchmark", "Abr.", "Input", "Grid", "CTA", "Shared?", "Const?", "CTA/core"],
+            &[
+                "Benchmark",
+                "Abr.",
+                "Input",
+                "Grid",
+                "CTA",
+                "Shared?",
+                "Const?",
+                "CTA/core"
+            ],
             &rows
         )
     );
@@ -238,7 +256,15 @@ pub fn fig4(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["Bench", "Kernel count", "PCI count", "Kernel cyc", "Avg kernel", "PCI cyc", "Avg PCI"],
+            &[
+                "Bench",
+                "Kernel count",
+                "PCI count",
+                "Kernel cyc",
+                "Avg kernel",
+                "PCI cyc",
+                "Avg PCI"
+            ],
             &rows
         )
     );
@@ -300,7 +326,10 @@ pub fn fig7(scale: Scale) {
         assert!(smem.verified && nosmem.verified);
         rows.push(vec![
             "NW".into(),
-            format!("{:.2}x", nosmem.kernel_cycles as f64 / smem.kernel_cycles as f64),
+            format!(
+                "{:.2}x",
+                nosmem.kernel_cycles as f64 / smem.kernel_cycles as f64
+            ),
         ]);
     }
     {
@@ -309,7 +338,10 @@ pub fn fig7(scale: Scale) {
         assert!(smem.verified && nosmem.verified);
         rows.push(vec![
             "PairHMM".into(),
-            format!("{:.2}x", nosmem.kernel_cycles as f64 / smem.kernel_cycles as f64),
+            format!(
+                "{:.2}x",
+                nosmem.kernel_cycles as f64 / smem.kernel_cycles as f64
+            ),
         ]);
     }
     println!(
@@ -492,8 +524,14 @@ pub fn fig13_14(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("L1 miss rate (Figure 13):\n{}", render_table(&hdr, &l1_rows));
-    println!("L2 miss rate (Figure 14):\n{}", render_table(&hdr, &l2_rows));
+    println!(
+        "L1 miss rate (Figure 13):\n{}",
+        render_table(&hdr, &l1_rows)
+    );
+    println!(
+        "L2 miss rate (Figure 14):\n{}",
+        render_table(&hdr, &l2_rows)
+    );
 }
 
 /// Figure 15: perfect-memory speedup.
@@ -502,7 +540,10 @@ pub fn fig15(scale: Scale) {
     let base = GpuConfig::rtx3070();
     let mut perfect = GpuConfig::rtx3070();
     perfect.sm.perfect_memory = true;
-    let configs = vec![("baseline".to_string(), base), ("perfect".to_string(), perfect)];
+    let configs = vec![
+        ("baseline".to_string(), base),
+        ("perfect".to_string(), perfect),
+    ];
     let rows = sweep(scale, &configs, 0);
     let mut avg = 0.0;
     for row in &rows {
@@ -679,7 +720,10 @@ pub fn ablation(scale: Scale) {
     }
     println!(
         "{}",
-        render_table(&["Design point", "cycles", "slowdown", "off-chip txns"], &rows)
+        render_table(
+            &["Design point", "cycles", "slowdown", "off-chip txns"],
+            &rows
+        )
     );
 }
 
@@ -749,7 +793,27 @@ pub fn run(name: &str, scale: Scale) {
 
 /// All experiment names in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13_14", "fig15", "fig16_17_18", "fig19", "fig20", "fig21",
-    "fig22", "ablation", "extension",
+    "table1",
+    "table2",
+    "table3",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13_14",
+    "fig15",
+    "fig16_17_18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "ablation",
+    "extension",
 ];

@@ -26,10 +26,11 @@
 
 use std::time::Instant;
 
-pub use ggpu_kernels::{
-    all_benchmarks, BenchResult, Benchmark, KernelResources, Scale, Table3Row,
+pub use ggpu_kernels::{all_benchmarks, BenchResult, Benchmark, KernelResources, Scale, Table3Row};
+pub use ggpu_sim::{
+    DeadlockReport, DeviceFault, FaultKind, FaultPlan, Gpu, GpuConfig, LaunchProblem, RunStats,
+    SimError,
 };
-pub use ggpu_sim::{Gpu, GpuConfig, RunStats};
 
 use ggpu_genomics::{nw_score, sequence_family, sw_score, GapModel, Simple};
 use ggpu_sm::SmConfig;
@@ -93,11 +94,35 @@ impl SuiteRunner {
     ///
     /// Panics if `abbrev` is not one of [`BENCHMARKS`].
     pub fn run_one(&self, abbrev: &str, cdp: bool) -> BenchResult {
+        self.try_run_one(abbrev, cdp)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run one benchmark by abbreviation, reporting an unknown abbreviation
+    /// as an error instead of panicking.
+    pub fn try_run_one(&self, abbrev: &str, cdp: bool) -> Result<BenchResult, UnknownBenchmark> {
         benchmark(self.scale, abbrev)
-            .unwrap_or_else(|| panic!("unknown benchmark {abbrev}"))
-            .run(&self.config, cdp)
+            .ok_or_else(|| UnknownBenchmark(abbrev.to_string()))
+            .map(|b| b.run(&self.config, cdp))
     }
 }
+
+/// A benchmark abbreviation that is not in [`BENCHMARKS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark(pub String);
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown benchmark `{}` (expected one of {})",
+            self.0,
+            BENCHMARKS.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
 
 /// SRAM utilization of one benchmark (Figure 6): the fraction of each
 /// on-chip SRAM structure occupied by the concurrently resident CTAs.
@@ -274,6 +299,15 @@ mod tests {
         let runner = SuiteRunner::new(Scale::Tiny).with_config(GpuConfig::test_small());
         let r = runner.run_one("SW", false);
         assert!(r.verified);
+    }
+
+    #[test]
+    fn try_run_one_reports_unknown_benchmark() {
+        let runner = SuiteRunner::new(Scale::Tiny).with_config(GpuConfig::test_small());
+        let e = runner.try_run_one("XXX", false).unwrap_err();
+        assert_eq!(e, UnknownBenchmark("XXX".to_string()));
+        assert!(e.to_string().contains("unknown benchmark `XXX`"));
+        assert!(runner.try_run_one("NW", false).is_ok());
     }
 
     #[test]

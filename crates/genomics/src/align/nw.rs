@@ -56,12 +56,7 @@ fn nw_score_linear(query: &[u8], target: &[u8], subst: &impl SubstScore, penalty
 }
 
 /// Full global alignment with traceback (affine gaps via Gotoh).
-pub fn nw_align(
-    query: &[u8],
-    target: &[u8],
-    subst: &impl SubstScore,
-    gaps: GapModel,
-) -> Alignment {
+pub fn nw_align(query: &[u8], target: &[u8], subst: &impl SubstScore, gaps: GapModel) -> Alignment {
     nw_align_banded(query, target, subst, gaps, usize::MAX)
 }
 

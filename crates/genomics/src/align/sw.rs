@@ -34,12 +34,7 @@ pub fn sw_score(query: &[u8], target: &[u8], subst: &impl SubstScore, gaps: GapM
 /// Full local alignment with traceback. The returned
 /// [`Alignment::query`] / [`Alignment::target`] ranges give the aligned
 /// substrings.
-pub fn sw_align(
-    query: &[u8],
-    target: &[u8],
-    subst: &impl SubstScore,
-    gaps: GapModel,
-) -> Alignment {
+pub fn sw_align(query: &[u8], target: &[u8], subst: &impl SubstScore, gaps: GapModel) -> Alignment {
     let (open, extend) = affine(gaps);
     let n = query.len();
     let m = target.len();

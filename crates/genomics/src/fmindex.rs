@@ -29,8 +29,7 @@ pub fn suffix_array(text: &[u8]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + if key(cur) == key(prev) { 0 } else { 1 };
+            tmp[cur as usize] = tmp[prev as usize] + if key(cur) == key(prev) { 0 } else { 1 };
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -187,7 +186,10 @@ impl FmIndex {
         let mut r = row;
         let mut steps = 0usize;
         loop {
-            if let Ok(i) = self.sa_samples.binary_search_by_key(&(r as u32), |&(p, _)| p) {
+            if let Ok(i) = self
+                .sa_samples
+                .binary_search_by_key(&(r as u32), |&(p, _)| p)
+            {
                 return (self.sa_samples[i].1 as usize + steps) % self.text_len;
             }
             r = self.lf(r);

@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod align;
 pub mod cluster;
@@ -44,7 +45,9 @@ pub use io::{parse_fasta, parse_fastq, write_fasta, write_fastq, FastaRecord, Fa
 pub use mapper::{MapHit, Mapper, MapperParams};
 pub use msa::{center_star, choose_center, Msa, GAP};
 pub use pairhmm::{phred_to_error, PairHmm};
-pub use scoring::{blosum62_index_matrix, encode_protein, Blosum62, GapModel, IndexedMatrix, Simple, SubstScore};
+pub use scoring::{
+    blosum62_index_matrix, encode_protein, Blosum62, GapModel, IndexedMatrix, Simple, SubstScore,
+};
 pub use seq::{complement, decode_base, encode_base, DnaSeq, ParseSeqError};
 pub use synth::{
     mutate, random_genome, random_protein, sequence_family, simulate_reads, ReadProfile,

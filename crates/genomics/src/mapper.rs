@@ -162,10 +162,7 @@ mod tests {
     fn mapper_with_genome(len: usize, seed: u64) -> (Mapper, DnaSeq) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let genome = random_genome(len, &mut rng);
-        (
-            Mapper::new(genome.clone(), MapperParams::default()),
-            genome,
-        )
+        (Mapper::new(genome.clone(), MapperParams::default()), genome)
     }
 
     #[test]
@@ -204,8 +201,10 @@ mod tests {
         let (mapper, _) = mapper_with_genome(2000, 14);
         // Homopolymer unlikely to have a 20-mer exact hit in random DNA.
         let read: DnaSeq = "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA".parse().unwrap();
-        let mut params = MapperParams::default();
-        params.min_score = 40;
+        let params = MapperParams {
+            min_score: 40,
+            ..MapperParams::default()
+        };
         let mapper2 = Mapper::new(mapper.reference().clone(), params);
         assert!(mapper2.map(&read).is_none());
     }

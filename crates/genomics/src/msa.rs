@@ -164,8 +164,8 @@ pub fn center_star(seqs: &[Vec<u8>], subst: &impl SubstScore, gaps: GapModel) ->
         let aln = alns[i].as_ref().expect("non-center rows have alignments");
         let mut qi = 0usize; // position in seq
         let mut j = 0usize; // center position
-        // Flatten the CIGAR into per-column ops, consuming the master gap
-        // budget before each center position.
+                            // Flatten the CIGAR into per-column ops, consuming the master gap
+                            // budget before each center position.
         let mut flat: Vec<CigarOp> = Vec::new();
         for &(op, n) in &aln.cigar {
             for _ in 0..n {
@@ -247,9 +247,9 @@ mod tests {
     fn rows_preserve_sequences() {
         let seqs = vec![
             dna("ACGTACGTAC"),
-            dna("ACGTCGTAC"),  // one deletion
+            dna("ACGTCGTAC"),   // one deletion
             dna("ACGTAACGTAC"), // one insertion
-            dna("ACGTACGTGC"), // one substitution
+            dna("ACGTACGTGC"),  // one substitution
         ];
         let msa = center_star(&seqs, &SUB, GAPS);
         for (i, row) in msa.rows.iter().enumerate() {

@@ -80,8 +80,8 @@ impl PairHmm {
                 } else {
                     err / 3.0
                 };
-                m_cur[j] = prior
-                    * (t_mm * m_prev[j - 1] + t_xm * x_prev[j - 1] + t_ym * y_prev[j - 1]);
+                m_cur[j] =
+                    prior * (t_mm * m_prev[j - 1] + t_xm * x_prev[j - 1] + t_ym * y_prev[j - 1]);
                 x_cur[j] = t_mx * m_prev[j] + t_xx * x_prev[j];
                 y_cur[j] = t_my * m_cur[j - 1] + t_yy * y_cur[j - 1];
             }
@@ -93,7 +93,11 @@ impl PairHmm {
                 .fold(0f64, |a, &b| a.max(b));
             if row_max > 0.0 && !(1e-100..=1e100).contains(&row_max) {
                 let inv = 1.0 / row_max;
-                for v in m_cur.iter_mut().chain(x_cur.iter_mut()).chain(y_cur.iter_mut()) {
+                for v in m_cur
+                    .iter_mut()
+                    .chain(x_cur.iter_mut())
+                    .chain(y_cur.iter_mut())
+                {
                     *v *= inv;
                 }
                 log_scale += row_max.log10();

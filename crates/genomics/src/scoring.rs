@@ -202,7 +202,13 @@ mod tests {
         let m = Blosum62;
         for &a in B62_ORDER {
             for &b in B62_ORDER {
-                assert_eq!(m.score(a, b), m.score(b, a), "{} vs {}", a as char, b as char);
+                assert_eq!(
+                    m.score(a, b),
+                    m.score(b, a),
+                    "{} vs {}",
+                    a as char,
+                    b as char
+                );
             }
         }
     }

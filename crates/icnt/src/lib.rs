@@ -215,7 +215,10 @@ impl Icnt {
     ///
     /// Panics if `i` is out of range.
     pub fn dst_node(&self, i: usize) -> NodeId {
-        assert!(self.n_src + i < self.n_total, "dest endpoint {i} out of range");
+        assert!(
+            self.n_src + i < self.n_total,
+            "dest endpoint {i} out of range"
+        );
         NodeId(self.n_src + i)
     }
 

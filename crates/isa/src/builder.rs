@@ -277,7 +277,14 @@ impl KernelBuilder {
     // ---- memory ---------------------------------------------------------
 
     /// Load.
-    pub fn ld(&mut self, space: Space, width: Width, dst: Reg, addr: impl Into<Operand>, offset: i64) {
+    pub fn ld(
+        &mut self,
+        space: Space,
+        width: Width,
+        dst: Reg,
+        addr: impl Into<Operand>,
+        offset: i64,
+    ) {
         self.push(Instr::Ld {
             space,
             width,

@@ -1,0 +1,122 @@
+//! Guest-fault taxonomy.
+//!
+//! A [`FaultKind`] names the architectural reason a warp trapped. The ISA
+//! crate owns the taxonomy so that both the SM model (which detects faults)
+//! and the device model (which reports them to the host) agree on the
+//! vocabulary without depending on each other.
+
+use crate::instr::Instr;
+use std::fmt;
+
+/// The architectural class of a guest fault.
+///
+/// Mirrors the fault classes a real CUDA device reports through
+/// `cudaErrorIllegalAddress` and friends, but split finer so diagnostics can
+/// say *why* an access was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An off-chip access touched an address outside any live allocation.
+    IllegalAddress,
+    /// An off-chip access was not naturally aligned for its width.
+    MisalignedAccess,
+    /// The program counter left the kernel's instruction stream.
+    InvalidPc,
+    /// A shared-memory access fell outside the CTA's allocation.
+    SharedMemOverflow,
+    /// A barrier was reached by a divergent subset of a warp.
+    BarrierDivergence,
+    /// A device-side launch found the pending-launch queue full.
+    CdpQueueOverflow,
+    /// A device-side launch exceeded the maximum nesting depth.
+    CdpNestingExceeded,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::IllegalAddress => "illegal address",
+            FaultKind::MisalignedAccess => "misaligned access",
+            FaultKind::InvalidPc => "invalid program counter",
+            FaultKind::SharedMemOverflow => "shared memory access out of bounds",
+            FaultKind::BarrierDivergence => "barrier reached by divergent warp",
+            FaultKind::CdpQueueOverflow => "device-side launch queue overflow",
+            FaultKind::CdpNestingExceeded => "device-side launch nesting depth exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Instr {
+    /// The fault classes this instruction can architecturally raise.
+    ///
+    /// This is static metadata (it ignores operand values): a global load can
+    /// raise [`FaultKind::IllegalAddress`] or [`FaultKind::MisalignedAccess`],
+    /// a barrier can raise [`FaultKind::BarrierDivergence`], and so on. Used
+    /// by diagnostics and by tests that want to enumerate trap sites.
+    pub fn fault_kinds(&self) -> &'static [FaultKind] {
+        use crate::instr::Space;
+        match self {
+            Instr::Ld { space, .. } | Instr::St { space, .. } => match space {
+                Space::Global | Space::Local | Space::Tex => {
+                    &[FaultKind::IllegalAddress, FaultKind::MisalignedAccess]
+                }
+                Space::Shared => &[FaultKind::SharedMemOverflow],
+                _ => &[],
+            },
+            Instr::Atom { space, .. } => match space {
+                Space::Global => &[FaultKind::IllegalAddress, FaultKind::MisalignedAccess],
+                Space::Shared => &[FaultKind::SharedMemOverflow],
+                _ => &[],
+            },
+            Instr::Bar => &[FaultKind::BarrierDivergence],
+            Instr::Launch { .. } => &[
+                FaultKind::CdpQueueOverflow,
+                FaultKind::CdpNestingExceeded,
+                FaultKind::IllegalAddress,
+            ],
+            Instr::Bra { .. } => &[FaultKind::InvalidPc],
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Space, Width};
+    use crate::reg::{Operand, Reg};
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FaultKind::IllegalAddress.to_string(), "illegal address");
+        assert_eq!(
+            FaultKind::CdpNestingExceeded.to_string(),
+            "device-side launch nesting depth exceeded"
+        );
+    }
+
+    #[test]
+    fn metadata_covers_memory_ops() {
+        let ld = Instr::Ld {
+            dst: Reg(0),
+            space: Space::Global,
+            width: Width::B32,
+            addr: Operand::reg(Reg(1)),
+            offset: 0,
+        };
+        assert!(ld.fault_kinds().contains(&FaultKind::IllegalAddress));
+        assert!(ld.fault_kinds().contains(&FaultKind::MisalignedAccess));
+
+        let sh = Instr::Ld {
+            dst: Reg(0),
+            space: Space::Shared,
+            width: Width::B32,
+            addr: Operand::reg(Reg(1)),
+            offset: 0,
+        };
+        assert_eq!(sh.fault_kinds(), &[FaultKind::SharedMemOverflow]);
+
+        assert_eq!(Instr::Bar.fault_kinds(), &[FaultKind::BarrierDivergence]);
+        assert!(Instr::Exit.fault_kinds().is_empty());
+    }
+}

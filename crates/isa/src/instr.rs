@@ -322,7 +322,10 @@ impl Instr {
     /// True for instructions that access memory (and therefore produce
     /// Figure 9 memory-space counts).
     pub fn is_mem(&self) -> bool {
-        matches!(self, Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. })
+        matches!(
+            self,
+            Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. }
+        )
     }
 
     /// The memory space accessed, if this is a memory instruction.
@@ -354,7 +357,13 @@ impl fmt::Display for Instr {
                 if_true,
                 if_false,
             } => write!(f, "selp {dst}, {if_true}, {if_false}, {cond}"),
-            Instr::SetP { pred, cmp, ty, a, b } => {
+            Instr::SetP {
+                pred,
+                cmp,
+                ty,
+                a,
+                b,
+            } => {
                 write!(f, "setp.{}.{ty:?} {pred}, {a}, {b}", cmp.mnemonic())
             }
             Instr::Cvt { kind, dst, src } => write!(f, "{} {dst}, {src}", kind.mnemonic()),

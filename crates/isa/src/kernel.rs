@@ -96,6 +96,16 @@ pub enum ValidateError {
         /// The invalid space.
         space: Space,
     },
+    /// A device-side launch names a kernel id absent from the program.
+    ///
+    /// Only [`Program::validate`] can detect this; a lone
+    /// [`Kernel::validate`] has no kernel-id namespace to check against.
+    LaunchTargetOutOfRange {
+        /// Instruction index of the offending launch.
+        pc: usize,
+        /// The out-of-range kernel id.
+        kernel: u32,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -109,10 +119,16 @@ impl fmt::Display for ValidateError {
             }
             ValidateError::NoExit => write!(f, "kernel has no exit instruction"),
             ValidateError::TooManyRegs { declared } => {
-                write!(f, "kernel declares {declared} registers per thread (max {MAX_REGS})")
+                write!(
+                    f,
+                    "kernel declares {declared} registers per thread (max {MAX_REGS})"
+                )
             }
             ValidateError::BadAtomicSpace { pc, space } => {
                 write!(f, "atomic at pc {pc} targets non-atomic space {space}")
+            }
+            ValidateError::LaunchTargetOutOfRange { pc, kernel } => {
+                write!(f, "launch at pc {pc} targets unknown kernel k{kernel}")
             }
         }
     }
@@ -160,10 +176,16 @@ impl Kernel {
         for (pc, instr) in self.instrs.iter().enumerate() {
             if let Instr::Bra { target, reconv, .. } = instr {
                 if *target >= n {
-                    return Err(ValidateError::BranchOutOfRange { pc, target: *target });
+                    return Err(ValidateError::BranchOutOfRange {
+                        pc,
+                        target: *target,
+                    });
                 }
                 if *reconv > n {
-                    return Err(ValidateError::BranchOutOfRange { pc, target: *reconv });
+                    return Err(ValidateError::BranchOutOfRange {
+                        pc,
+                        target: *reconv,
+                    });
                 }
             }
             if let Instr::Atom { space, .. } = instr {
@@ -194,6 +216,33 @@ impl Kernel {
         Ok(())
     }
 
+    /// Number of u64 parameter words this kernel statically reads.
+    ///
+    /// Derived by scanning the instruction stream for parameter loads at
+    /// immediate addresses (the form [`crate::KernelBuilder::ld_param`]
+    /// emits): the answer is one past the highest parameter word touched.
+    /// Parameter loads through a register base cannot be bounded statically
+    /// and are ignored. Used by the device model to reject launches that
+    /// supply fewer parameters than the kernel will read.
+    pub fn param_words_required(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Ld {
+                    space: Space::Param,
+                    addr: crate::Operand::Imm(base),
+                    offset,
+                    ..
+                } => {
+                    let byte = (*base as i64).saturating_add(*offset).max(0) as u64;
+                    Some((byte / 8) as usize + 1)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Render the kernel as pseudo-assembly, one instruction per line with
     /// PC prefixes. Useful for debugging and documentation.
     pub fn disassemble(&self) -> String {
@@ -202,7 +251,10 @@ impl Kernel {
         let _ = writeln!(
             s,
             "// {} (regs={}, smem={}B, cmem={}B, local={}B/thread)",
-            self.name, self.regs_per_thread, self.smem_per_cta, self.cmem_bytes,
+            self.name,
+            self.regs_per_thread,
+            self.smem_per_cta,
+            self.cmem_bytes,
             self.local_bytes_per_thread
         );
         for (pc, i) in self.instrs.iter().enumerate() {
@@ -267,14 +319,29 @@ impl Program {
             .map(|(i, k)| (KernelId(i as u32), k))
     }
 
-    /// Validate every kernel in the program.
+    /// Validate every kernel in the program, plus the cross-kernel invariant
+    /// that every device-side launch targets a kernel present in the program.
     ///
     /// # Errors
     ///
     /// Returns the first kernel's name and error.
     pub fn validate(&self) -> Result<(), (String, ValidateError)> {
+        let n = self.kernels.len() as u32;
         for k in &self.kernels {
             k.validate().map_err(|e| (k.name.clone(), e))?;
+            for (pc, instr) in k.instrs.iter().enumerate() {
+                if let Instr::Launch { kernel, .. } = instr {
+                    if *kernel >= n {
+                        return Err((
+                            k.name.clone(),
+                            ValidateError::LaunchTargetOutOfRange {
+                                pc,
+                                kernel: *kernel,
+                            },
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -383,6 +450,55 @@ mod tests {
         assert_eq!(p.kernel(id).name, "t");
         assert!(p.get(KernelId(7)).is_none());
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn program_validate_rejects_unknown_launch_target() {
+        let mut p = Program::new();
+        let mut k = trivial_kernel();
+        k.instrs = vec![
+            Instr::Launch {
+                kernel: 5,
+                grid_x: Operand::imm(1),
+                block_x: Operand::imm(32),
+                params_ptr: Operand::imm(0),
+                param_words: 0,
+            },
+            Instr::Exit,
+        ];
+        p.add(k);
+        assert!(matches!(
+            p.validate(),
+            Err((
+                _,
+                ValidateError::LaunchTargetOutOfRange { pc: 0, kernel: 5 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn param_words_required_scans_param_loads() {
+        let mut k = trivial_kernel();
+        k.regs_per_thread = 2;
+        assert_eq!(k.param_words_required(), 0);
+        k.instrs = vec![
+            Instr::Ld {
+                space: Space::Param,
+                width: Width::B64,
+                dst: Reg(0),
+                addr: Operand::imm(0),
+                offset: 16,
+            },
+            Instr::Ld {
+                space: Space::Param,
+                width: Width::B64,
+                dst: Reg(1),
+                addr: Operand::imm(0),
+                offset: 0,
+            },
+            Instr::Exit,
+        ];
+        assert_eq!(k.param_words_required(), 3);
     }
 
     #[test]

@@ -48,12 +48,14 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod fault;
 mod instr;
 mod kernel;
 mod op;
 mod reg;
 
 pub use builder::KernelBuilder;
+pub use fault::FaultKind;
 pub use instr::{Instr, Space, Width};
 pub use kernel::{Kernel, KernelId, LaunchDims, Program, ValidateError};
 pub use op::{AluOp, AtomOp, CmpOp, CvtKind, InstrClass, ScalarType};

@@ -123,10 +123,7 @@ impl AluOp {
     /// throughput on consumer GPUs such as the RTX 3070).
     pub fn is_f64(self) -> bool {
         use AluOp::*;
-        matches!(
-            self,
-            DAdd | DSub | DMul | DDiv | DMin | DMax | DExp | DLog
-        )
+        matches!(self, DAdd | DSub | DMul | DDiv | DMin | DMax | DExp | DLog)
     }
 
     /// Evaluate the operation on raw 64-bit register values.

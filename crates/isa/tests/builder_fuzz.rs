@@ -25,6 +25,7 @@ fn shape() -> impl Strategy<Value = Shape> {
     })
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn emit(b: &mut KernelBuilder, s: &Shape, acc: Reg, depth: u8) {
     match s {
         Shape::Straight(n) => {

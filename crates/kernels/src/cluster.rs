@@ -82,7 +82,8 @@ impl ClusterBench {
             open: GAP_OPEN,
             extend: GAP_EXTEND,
         };
-        let seq_of = |i: usize| &seqs[i * max_len as usize..i * max_len as usize + lens[i] as usize];
+        let seq_of =
+            |i: usize| &seqs[i * max_len as usize..i * max_len as usize + lens[i] as usize];
         let mut expected_rep = vec![u32::MAX; n_seqs];
         for &oi in &order {
             let oi = oi as usize;
@@ -221,8 +222,7 @@ impl ClusterBench {
                         b.iadd(rj, rj, Operand::reg(rep_of));
                         let cr = b.reg();
                         b.ld(Space::Global, Width::B32, cr, rj, 0);
-                        let unass =
-                            b.cmp_s(CmpOp::Eq, Operand::reg(cr), Operand::imm(UNASSIGNED));
+                        let unass = b.cmp_s(CmpOp::Eq, Operand::reg(cr), Operand::imm(UNASSIGNED));
                         b.if_then(unass, |b| {
                             let sa = b.reg();
                             b.imul(sa, j, Operand::imm(8));
@@ -322,8 +322,16 @@ impl Benchmark for ClusterBench {
                 driver,
                 LaunchDims::linear(1, 32),
                 &[
-                    seqs.0, lens.0, order.0, thr.0, rep_of.0, scores.0, n as u64,
-                    self.max_len as u64, scratch.0, 64,
+                    seqs.0,
+                    lens.0,
+                    order.0,
+                    thr.0,
+                    rep_of.0,
+                    scores.0,
+                    n as u64,
+                    self.max_len as u64,
+                    scratch.0,
+                    64,
                 ],
             );
             gpu.synchronize();
@@ -372,9 +380,7 @@ impl Benchmark for ClusterBench {
                 gpu.synchronize();
                 let raw = gpu.memcpy_d2h(scores, cands.len() * 8);
                 for (slot, &j) in cands.iter().enumerate() {
-                    let s = i64::from_le_bytes(
-                        raw[slot * 8..slot * 8 + 8].try_into().expect("8B"),
-                    );
+                    let s = i64::from_le_bytes(raw[slot * 8..slot * 8 + 8].try_into().expect("8B"));
                     if s >= self.thresholds[j as usize] {
                         rep[j as usize] = oi as u32;
                     }

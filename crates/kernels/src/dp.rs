@@ -407,7 +407,13 @@ fn emit_one_pair(
                         b.ld(Space::Const, Width::B64, sub, ma, 32);
                     } else {
                         let eq = b.reg();
-                        b.setp(eq, CmpOp::Eq, ScalarType::S64, Operand::reg(qc), Operand::reg(tc));
+                        b.setp(
+                            eq,
+                            CmpOp::Eq,
+                            ScalarType::S64,
+                            Operand::reg(qc),
+                            Operand::reg(tc),
+                        );
                         b.sel(sub, eq, Operand::reg(r.c_mat), Operand::reg(r.c_mis));
                     }
                     // h = max(hdiag + sub, e, f) [, 0 for Local]
@@ -521,7 +527,13 @@ pub fn build_dp_parent(name: &str, child_kernel: u32) -> Kernel {
         for w in [0u32, 1, 2, 6, 7, 8] {
             let v = b.reg();
             b.ld_param(v, w);
-            b.st(Space::Global, Width::B64, Operand::reg(v), pb, (w as i64) * 8);
+            b.st(
+                Space::Global,
+                Width::B64,
+                Operand::reg(v),
+                pb,
+                (w as i64) * 8,
+            );
         }
         b.st(Space::Global, Width::B64, Operand::reg(limit), pb, 3 * 8);
         b.st(Space::Global, Width::B64, Operand::reg(start), pb, 4 * 8);
@@ -530,7 +542,12 @@ pub fn build_dp_parent(name: &str, child_kernel: u32) -> Kernel {
         let grid = b.reg();
         b.iadd(grid, chunk, Operand::reg(child_cta));
         b.isub(grid, Operand::reg(grid), Operand::imm(1));
-        b.alu(AluOp::IDiv, grid, Operand::reg(grid), Operand::reg(child_cta));
+        b.alu(
+            AluOp::IDiv,
+            grid,
+            Operand::reg(grid),
+            Operand::reg(child_cta),
+        );
         b.launch(
             child_kernel,
             Operand::reg(grid),

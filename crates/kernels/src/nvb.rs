@@ -17,9 +17,7 @@
 //! Reads are processed in batches staged over PCIe, giving NvB its high
 //! kernel *and* PCI counts in Figure 4.
 
-use ggpu_isa::{
-    AtomOp, CmpOp, Kernel, KernelBuilder, LaunchDims, Operand, Program, Space, Width,
-};
+use ggpu_isa::{AtomOp, CmpOp, Kernel, KernelBuilder, LaunchDims, Operand, Program, Space, Width};
 use ggpu_sim::{Gpu, GpuConfig};
 use rand::{Rng, SeedableRng};
 
@@ -118,11 +116,7 @@ impl FmTables {
             let pos = self.sa[row] as u64;
             let mut score = 0u64;
             for (i, &c) in read.iter().enumerate() {
-                let t = self
-                    .text
-                    .get(pos as usize + i)
-                    .copied()
-                    .unwrap_or(SENTINEL);
+                let t = self.text.get(pos as usize + i).copied().unwrap_or(SENTINEL);
                 if t == c {
                     score += 1;
                 }
@@ -326,7 +320,13 @@ fn build_search_kernel(name: &str, cdp_child: Option<u32>) -> Kernel {
                         b.st(Space::Global, Width::B64, Operand::reg(r), pb, 32);
                         b.st(Space::Global, Width::B64, Operand::reg(lo), pb, 40);
                         b.st(Space::Global, Width::B64, Operand::reg(read_len), pb, 48);
-                        b.launch(child, Operand::imm(1), Operand::reg(hits), Operand::reg(pb), 7);
+                        b.launch(
+                            child,
+                            Operand::imm(1),
+                            Operand::reg(hits),
+                            Operand::reg(pb),
+                            7,
+                        );
                         b.dsync();
                     });
                 }
@@ -404,7 +404,13 @@ impl NvbBench {
     /// Build an NvB instance at `scale`.
     pub fn new(scale: Scale) -> Self {
         let (genome_len, n_reads, read_len, dims, batches) = match scale {
-            Scale::Tiny => (2_000usize, 192usize, 16u32, LaunchDims::linear(2, 32), 3usize),
+            Scale::Tiny => (
+                2_000usize,
+                192usize,
+                16u32,
+                LaunchDims::linear(2, 32),
+                3usize,
+            ),
             Scale::Small => (16_000, 2048, 20, LaunchDims::linear(8, 64), 4),
             Scale::Paper => (1 << 18, 1 << 14, 32, LaunchDims::linear(2048, 256), 16),
         };
@@ -480,10 +486,7 @@ impl Benchmark for NvbBench {
             let search = program.add(build_search_kernel("NvB-search-cdp", Some(child.0)));
             (search, Some(child))
         } else {
-            (
-                program.add(build_search_kernel("NvB-search", None)),
-                None,
-            )
+            (program.add(build_search_kernel("NvB-search", None)), None)
         };
         let _ = child;
         let mut gpu = Gpu::new(program, config.clone());
@@ -499,9 +502,19 @@ impl Benchmark for NvbBench {
 
         // Reference tables upload (the index build cost the paper excludes).
         gpu.memcpy_h2d(text, &self.tables.text);
-        let occ_bytes: Vec<u8> = self.tables.occ.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let occ_bytes: Vec<u8> = self
+            .tables
+            .occ
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         gpu.memcpy_h2d(occ, &occ_bytes);
-        let sa_bytes: Vec<u8> = self.tables.sa.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let sa_bytes: Vec<u8> = self
+            .tables
+            .sa
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
         gpu.memcpy_h2d(sa, &sa_bytes);
 
         // Reads staged per batch, results copied back per batch.

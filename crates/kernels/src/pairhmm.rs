@@ -81,7 +81,7 @@ pub fn build_pairhmm_kernel(name: &str, cfg: &PairHmmKernelCfg) -> Kernel {
     };
     b.set_cmem_bytes(64 * 8);
     let stripe = (cfg.hap_len as i64 + 1) * 8; // one row
-    // Layout: [m0 x0 y0 m1 x1 y1], prev/cur toggled by a 3-row offset.
+                                               // Layout: [m0 x0 y0 m1 x1 y1], prev/cur toggled by a 3-row offset.
     let half = 3 * stripe;
 
     let reads = b.reg();
@@ -176,7 +176,12 @@ pub fn build_pairhmm_kernel(name: &str, cfg: &PairHmmKernelCfg) -> Kernel {
                 let err = b.reg();
                 b.ld(Space::Const, Width::B64, err, ca, 0);
                 let one_m_err = b.reg();
-                b.alu(AluOp::DSub, one_m_err, Operand::f64imm(1.0), Operand::reg(err));
+                b.alu(
+                    AluOp::DSub,
+                    one_m_err,
+                    Operand::f64imm(1.0),
+                    Operand::reg(err),
+                );
                 let err_3 = b.reg();
                 b.alu(AluOp::DDiv, err_3, Operand::reg(err), Operand::f64imm(3.0));
                 let rc = b.reg();
@@ -422,7 +427,8 @@ impl Benchmark for PairHmmBench {
         let haps = gpu.malloc(self.haps.len() as u64);
         let out = gpu.malloc(n as u64 * 8);
         let scratch = if self.rows == RowStorage::GlobalScratch {
-            gpu.malloc(n as u64 * self.kernel_cfg().row_bytes() as u64).0
+            gpu.malloc(n as u64 * self.kernel_cfg().row_bytes() as u64)
+                .0
         } else {
             0
         };
@@ -448,8 +454,18 @@ impl Benchmark for PairHmmBench {
                         pk,
                         LaunchDims::linear(pthreads.div_ceil(32).max(1), 32),
                         &[
-                            reads.0, haps.0, out.0, end as u64, start as u64, 0, quals.0,
-                            scratch, 0, pscratch.0, chunk, child_cta,
+                            reads.0,
+                            haps.0,
+                            out.0,
+                            end as u64,
+                            start as u64,
+                            0,
+                            quals.0,
+                            scratch,
+                            0,
+                            pscratch.0,
+                            chunk,
+                            child_cta,
                         ],
                     );
                 }
@@ -459,8 +475,15 @@ impl Benchmark for PairHmmBench {
                         child,
                         self.dims,
                         &[
-                            reads.0, haps.0, out.0, end as u64, start as u64, stride, quals.0,
-                            scratch, 0,
+                            reads.0,
+                            haps.0,
+                            out.0,
+                            end as u64,
+                            start as u64,
+                            stride,
+                            quals.0,
+                            scratch,
+                            0,
                         ],
                     );
                 }

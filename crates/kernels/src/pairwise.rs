@@ -17,7 +17,9 @@ use ggpu_genomics::{
     ksw_extend, mutate, nw_score, random_genome, semiglobal_score, sw_score, GapModel, Simple,
 };
 
-use crate::dp::{build_dp_kernel, build_dp_parent, scoring_const_data, DpKernelCfg, DpMode, DP_PARAM_WORDS};
+use crate::dp::{
+    build_dp_kernel, build_dp_parent, scoring_const_data, DpKernelCfg, DpMode, DP_PARAM_WORDS,
+};
 use crate::{BenchResult, Benchmark, Scale, Table3Row};
 
 /// Scoring constants shared by every pairwise benchmark (and their CPU
@@ -141,7 +143,13 @@ impl PairwiseBench {
                 dims_small,
                 4,
             ),
-            Scale::Paper => (paper_dims.total_threads() as usize * 8, 64, 40, paper_dims, 8),
+            Scale::Paper => (
+                paper_dims.total_threads() as usize * 8,
+                64,
+                40,
+                paper_dims,
+                8,
+            ),
         };
         let min_len = if uniform_len { max_len } else { min_len };
         let (queries, targets, lens) = Self::make_pairs(n_pairs, max_len, min_len, seed);
@@ -327,10 +335,7 @@ impl Benchmark for PairwiseBench {
         let mut program = Program::new();
         let child = program.add(build_dp_kernel(self.abbrev, &cfg));
         let parent = if cdp {
-            Some(program.add(build_dp_parent(
-                &format!("{}-parent", self.abbrev),
-                child.0,
-            )))
+            Some(program.add(build_dp_parent(&format!("{}-parent", self.abbrev), child.0)))
         } else {
             None
         };
@@ -373,7 +378,10 @@ impl Benchmark for PairwiseBench {
                 let qe = end * self.max_len as usize;
                 gpu.memcpy_h2d(q.offset(qs as u64), &self.queries[qs..qe]);
                 gpu.memcpy_h2d(t.offset(qs as u64), &self.targets[qs..qe]);
-                gpu.memcpy_h2d(lenp.offset(start as u64 * 4), &len_bytes[start * 4..end * 4]);
+                gpu.memcpy_h2d(
+                    lenp.offset(start as u64 * 4),
+                    &len_bytes[start * 4..end * 4],
+                );
                 launch_batch(
                     &mut gpu, child, parent, self.dims, q.0, t.0, out.0, lenp.0, start, end, cdp,
                 );

@@ -104,8 +104,12 @@ impl StarBench {
         let seq_of = |i: usize| &seqs[i * seq_len as usize..(i + 1) * seq_len as usize];
         let expected_pair_scores: Vec<i64> = (0..n_pairs)
             .map(|p| {
-                nw_score(seq_of(pair_a[p] as usize), seq_of(pair_b[p] as usize), &subst, gaps)
-                    as i64
+                nw_score(
+                    seq_of(pair_a[p] as usize),
+                    seq_of(pair_b[p] as usize),
+                    &subst,
+                    gaps,
+                ) as i64
             })
             .collect();
         let mut sums = vec![0i64; n_seqs];
@@ -227,8 +231,19 @@ impl StarBench {
                     b.st(Space::Global, Width::B64, Operand::imm(0), pb1, 64);
                     let grid = b.reg();
                     b.iadd(grid, per_batch, Operand::imm(63));
-                    b.alu(ggpu_isa::AluOp::IDiv, grid, Operand::reg(grid), Operand::imm(64));
-                    b.launch(phase1, Operand::reg(grid), Operand::imm(64), Operand::reg(pb1), DP_PARAM_WORDS);
+                    b.alu(
+                        ggpu_isa::AluOp::IDiv,
+                        grid,
+                        Operand::reg(grid),
+                        Operand::imm(64),
+                    );
+                    b.launch(
+                        phase1,
+                        Operand::reg(grid),
+                        Operand::imm(64),
+                        Operand::reg(pb1),
+                        DP_PARAM_WORDS,
+                    );
                     b.iadd(start, start, Operand::reg(per_batch));
                     b.iadd(pb1, pb1, Operand::imm(DP_PARAM_WORDS as i64 * 8));
                 },
@@ -275,7 +290,13 @@ impl StarBench {
                     b.mov(center, Operand::reg(i));
                 });
             });
-            b.st(Space::Global, Width::B64, Operand::reg(center), center_out, 0);
+            b.st(
+                Space::Global,
+                Width::B64,
+                Operand::reg(center),
+                center_out,
+                0,
+            );
 
             // ---- phase 2: align everything to the center ----
             let center_ptr = b.reg();
@@ -294,8 +315,19 @@ impl StarBench {
             b.st(Space::Global, Width::B64, Operand::imm(0), pb2, 64);
             let grid2 = b.reg();
             b.iadd(grid2, n_seqs, Operand::imm(63));
-            b.alu(ggpu_isa::AluOp::IDiv, grid2, Operand::reg(grid2), Operand::imm(64));
-            b.launch(phase2, Operand::reg(grid2), Operand::imm(64), Operand::reg(pb2), DP_PARAM_WORDS);
+            b.alu(
+                ggpu_isa::AluOp::IDiv,
+                grid2,
+                Operand::reg(grid2),
+                Operand::imm(64),
+            );
+            b.launch(
+                phase2,
+                Operand::reg(grid2),
+                Operand::imm(64),
+                Operand::reg(pb2),
+                DP_PARAM_WORDS,
+            );
             b.dsync();
         });
         b.exit();
@@ -378,8 +410,20 @@ impl Benchmark for StarBench {
                 orch,
                 LaunchDims::linear(1, 32),
                 &[
-                    seqs.0, pq.0, pt.0, pscores.0, n_pairs as u64, pa.0, pb.0, sums.0, fscores.0,
-                    center_out.0, self.n_seqs as u64, sl, scratch.0, per_batch as u64,
+                    seqs.0,
+                    pq.0,
+                    pt.0,
+                    pscores.0,
+                    n_pairs as u64,
+                    pa.0,
+                    pb.0,
+                    sums.0,
+                    fscores.0,
+                    center_out.0,
+                    self.n_seqs as u64,
+                    sl,
+                    scratch.0,
+                    per_batch as u64,
                 ],
             );
             gpu.synchronize();
@@ -397,7 +441,17 @@ impl Benchmark for StarBench {
                 gpu.launch(
                     phase1,
                     self.dims,
-                    &[pq.0, pt.0, pscores.0, end as u64, start as u64, stride, 0, 0, 0],
+                    &[
+                        pq.0,
+                        pt.0,
+                        pscores.0,
+                        end as u64,
+                        start as u64,
+                        stride,
+                        0,
+                        0,
+                        0,
+                    ],
                 );
                 gpu.synchronize();
                 start = end;

@@ -16,9 +16,7 @@
 //! 7 `out_ops` (u8 per column, `2*max_len` stride per pair),
 //! 8 `out_ops_len` (u32 per pair). Scoring constants as in the DP kernel.
 
-use ggpu_isa::{
-    CmpOp, Kernel, KernelBuilder, Operand, Reg, ScalarType, Space, Width,
-};
+use ggpu_isa::{CmpOp, Kernel, KernelBuilder, Operand, Reg, ScalarType, Space, Width};
 
 use crate::dp::KERNEL_NEG_INF;
 
@@ -135,7 +133,13 @@ pub fn build_traceback_kernel(name: &str, cfg: &TracebackKernelCfg) -> Kernel {
                 let is0 = b.cmp_s(CmpOp::Eq, Operand::reg(j), Operand::imm(0));
                 b.sel(h0, is0, Operand::imm(0), Operand::reg(h0));
                 b.st(Space::Local, Width::B64, Operand::reg(h0), addr, 0);
-                b.st(Space::Local, Width::B64, Operand::imm(KERNEL_NEG_INF), addr, e_off);
+                b.st(
+                    Space::Local,
+                    Width::B64,
+                    Operand::imm(KERNEL_NEG_INF),
+                    addr,
+                    e_off,
+                );
             };
             b.for_range(Operand::imm(0), Operand::reg(len), 1, |b, j| init_one(b, j));
             init_one(b, len);
@@ -156,7 +160,13 @@ pub fn build_traceback_kernel(name: &str, cfg: &TracebackKernelCfg) -> Kernel {
                     b.imul(hleft, i, Operand::reg(c_ext));
                     b.iadd(hleft, hleft, Operand::reg(c_open));
                     b.isub(hleft, Operand::imm(0), Operand::reg(hleft));
-                    b.st(Space::Local, Width::B64, Operand::reg(hleft), Operand::imm(row_h_off), 0);
+                    b.st(
+                        Space::Local,
+                        Width::B64,
+                        Operand::reg(hleft),
+                        Operand::imm(row_h_off),
+                        0,
+                    );
                     let f = b.reg();
                     b.mov(f, Operand::imm(KERNEL_NEG_INF));
                     let f_opened = b.reg();
@@ -185,11 +195,8 @@ pub fn build_traceback_kernel(name: &str, cfg: &TracebackKernelCfg) -> Kernel {
                             b.isub(f_open, Operand::reg(old), Operand::reg(c_oe));
                             let frow = b.reg();
                             b.imax(frow, f_open, Operand::reg(f_ext));
-                            let f_opened_here = b.cmp_s(
-                                CmpOp::Ge,
-                                Operand::reg(f_open),
-                                Operand::reg(f_ext),
-                            );
+                            let f_opened_here =
+                                b.cmp_s(CmpOp::Ge, Operand::reg(f_open), Operand::reg(f_ext));
                             // e = max(e-ext, hleft-oe); opened on ties.
                             let e_ext = b.reg();
                             b.isub(e_ext, Operand::reg(f), Operand::reg(c_ext));
@@ -335,8 +342,7 @@ pub fn build_traceback_kernel(name: &str, cfg: &TracebackKernelCfg) -> Kernel {
                                     // On the i==0 border the direction byte is
                                     // garbage: always exit to H (it re-derives
                                     // E from the border rule next step).
-                                    let i0b =
-                                        b.cmp_s(CmpOp::Eq, Operand::reg(ti), Operand::imm(0));
+                                    let i0b = b.cmp_s(CmpOp::Eq, Operand::reg(ti), Operand::imm(0));
                                     b.ior(exit, exit, Operand::reg(i0b));
                                     b.sel(state, exit, Operand::imm(0), Operand::imm(1));
                                     b.isub(tj, Operand::reg(tj), Operand::imm(1));
@@ -351,8 +357,7 @@ pub fn build_traceback_kernel(name: &str, cfg: &TracebackKernelCfg) -> Kernel {
                                         b.cmp_s(CmpOp::Le, Operand::reg(ti), Operand::imm(1));
                                     let exit = b.reg();
                                     b.ior(exit, opened, Operand::reg(i_small));
-                                    let j0b =
-                                        b.cmp_s(CmpOp::Eq, Operand::reg(tj), Operand::imm(0));
+                                    let j0b = b.cmp_s(CmpOp::Eq, Operand::reg(tj), Operand::imm(0));
                                     b.ior(exit, exit, Operand::reg(j0b));
                                     b.sel(state, exit, Operand::imm(0), Operand::imm(2));
                                     b.isub(ti, Operand::reg(ti), Operand::imm(1));
@@ -439,8 +444,7 @@ impl TracebackBench {
             let qs = random_genome(len, &mut rng);
             let ts = mutate(&qs, 0.1, 0.05, &mut rng);
             let tl = ts.len().min(len);
-            queries[p * max_len as usize..p * max_len as usize + len]
-                .copy_from_slice(qs.codes());
+            queries[p * max_len as usize..p * max_len as usize + len].copy_from_slice(qs.codes());
             targets[p * max_len as usize..p * max_len as usize + tl]
                 .copy_from_slice(&ts.codes()[..tl]);
             lens.push(len as u32);
@@ -516,7 +520,17 @@ impl TracebackBench {
         gpu.run_kernel(
             k,
             self.dims,
-            &[qb.0, tb.0, sb.0, n as u64, 0, self.dims.total_threads(), lb.0, 0, 0],
+            &[
+                qb.0,
+                tb.0,
+                sb.0,
+                n as u64,
+                0,
+                self.dims.total_threads(),
+                lb.0,
+                0,
+                0,
+            ],
         );
         let scores: Vec<i64> = gpu
             .memcpy_d2h(sb, n * 8)
@@ -675,8 +689,8 @@ mod tests {
         let raw_lens = gpu.memcpy_d2h(nb, n * 4);
         let mut all_ops = Vec::new();
         for p in 0..n {
-            let count = u32::from_le_bytes(raw_lens[p * 4..p * 4 + 4].try_into().expect("4B"))
-                as usize;
+            let count =
+                u32::from_le_bytes(raw_lens[p * 4..p * 4 + 4].try_into().expect("4B")) as usize;
             let base = p * 2 * MAX_LEN as usize;
             all_ops.push(raw_ops[base..base + count].to_vec());
         }
@@ -711,8 +725,7 @@ mod tests {
             let ts = mutate(&qs, 0.15, 0.1, &mut rng);
             let tl = ts.len().min(len);
             q[p * MAX_LEN as usize..p * MAX_LEN as usize + len].copy_from_slice(qs.codes());
-            t[p * MAX_LEN as usize..p * MAX_LEN as usize + tl]
-                .copy_from_slice(&ts.codes()[..tl]);
+            t[p * MAX_LEN as usize..p * MAX_LEN as usize + tl].copy_from_slice(&ts.codes()[..tl]);
             lens.push(len as u32);
         }
         (q, t, lens)

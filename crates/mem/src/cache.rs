@@ -352,14 +352,20 @@ mod tests {
 
     #[test]
     fn sets_geometry() {
-        assert_eq!(CacheConfig::new(128 * 1024, 256, WritePolicy::WriteThrough).sets(), 4);
+        assert_eq!(
+            CacheConfig::new(128 * 1024, 256, WritePolicy::WriteThrough).sets(),
+            4
+        );
         assert_eq!(CacheConfig::new(0, 4, WritePolicy::WriteBack).sets(), 0);
     }
 
     #[test]
     fn miss_then_hit_after_fill() {
         let mut c = small_cache(WritePolicy::WriteBack);
-        assert!(matches!(c.access(0, false), CacheOutcome::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0, false),
+            CacheOutcome::Miss { writeback: None }
+        ));
         c.fill(0, false);
         assert_eq!(c.access(0, false), CacheOutcome::Hit);
         assert_eq!(c.access(64, false), CacheOutcome::Hit); // same line
@@ -383,7 +389,10 @@ mod tests {
         let mut c = small_cache(WritePolicy::WriteBack);
         // 4 distinct lines fill the MSHR file.
         for i in 0..4u64 {
-            assert!(matches!(c.access(i * 128, false), CacheOutcome::Miss { .. }));
+            assert!(matches!(
+                c.access(i * 128, false),
+                CacheOutcome::Miss { .. }
+            ));
         }
         assert_eq!(c.access(4 * 128, false), CacheOutcome::ReservationFail);
         assert_eq!(c.stats().reservation_fails, 1);

@@ -163,6 +163,12 @@ impl Dram {
         self.queue.is_empty() && self.in_flight.is_empty()
     }
 
+    /// Current channel occupancy: queued plus in-flight requests (deadlock
+    /// diagnostics).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len() + self.in_flight.len()
+    }
+
     /// Enqueue a request; returns `false` (and counts a rejection) when the
     /// queue is full, in which case the caller must retry later.
     pub fn push(&mut self, id: u64, addr: u64, now: u64) -> bool {

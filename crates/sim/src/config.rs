@@ -23,6 +23,25 @@ impl Default for PcieConfig {
     }
 }
 
+/// Deterministic fault-injection plan, for exercising the error paths of
+/// the device model (and of harnesses built on it) without crafting a
+/// faulty kernel.
+///
+/// All knobs default to `None` (no injection). Injection is deterministic:
+/// the same plan over the same workload faults at the same cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Treat `[start, end)` as unmapped: any access overlapping the range
+    /// raises an illegal-address fault even inside a live allocation.
+    pub poison: Option<(u64, u64)>,
+    /// Silently drop the Nth (0-based) memory reply packet. The owning warp
+    /// waits forever and the watchdog reports the hang.
+    pub drop_reply: Option<u64>,
+    /// From this cycle on, report the CDP pending-launch queue as full, so
+    /// the next device-side launch faults with a queue overflow.
+    pub cdp_full_at: Option<u64>,
+}
+
 /// Full GPU configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
@@ -52,6 +71,18 @@ pub struct GpuConfig {
     pub pcie: PcieConfig,
     /// GPU clock in GHz, used only to convert cycles to seconds in reports.
     pub clock_ghz: f64,
+    /// Forward-progress watchdog: if no SM issues an instruction and no
+    /// memory-system activity is observed for this many consecutive cycles,
+    /// `try_synchronize` returns a deadlock report instead of spinning.
+    pub watchdog_cycles: u64,
+    /// Device memory capacity in bytes; `try_malloc` beyond it fails.
+    pub memory_limit: u64,
+    /// CDP pending-launch queue capacity (as `cudaLimitDevRuntimePendingLaunchCount`).
+    pub cdp_queue_limit: usize,
+    /// Maximum CDP nesting depth (as `cudaLimitDevRuntimeSyncDepth`).
+    pub cdp_max_depth: u32,
+    /// Deterministic fault injection (testing / hardening harnesses).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for GpuConfig {
@@ -79,6 +110,11 @@ impl GpuConfig {
             flush_between_kernels: true,
             pcie: PcieConfig::default(),
             clock_ghz: 1.5,
+            watchdog_cycles: 50_000,
+            memory_limit: 8 << 30,
+            cdp_queue_limit: 2048,
+            cdp_max_depth: 24,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -133,6 +169,17 @@ mod tests {
         assert_eq!(c.sm.l1.bytes, 128 * 1024);
         assert_eq!(c.l2_total(), 4 * 1024 * 1024);
         assert_eq!(c.icnt.flit_bytes, 40);
+    }
+
+    #[test]
+    fn robustness_defaults() {
+        let c = GpuConfig::rtx3070();
+        assert_eq!(c.watchdog_cycles, 50_000);
+        assert_eq!(c.memory_limit, 8 << 30);
+        assert_eq!(c.cdp_queue_limit, 2048);
+        assert_eq!(c.cdp_max_depth, 24);
+        assert_eq!(c.fault_plan, FaultPlan::default());
+        assert!(c.fault_plan.poison.is_none());
     }
 
     #[test]

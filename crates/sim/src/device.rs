@@ -6,22 +6,31 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use ggpu_icnt::Icnt;
-use ggpu_isa::{Kernel, KernelId, LaunchDims, Program};
+use ggpu_isa::{FaultKind, Kernel, KernelId, LaunchDims, Program};
 use ggpu_mem::{Cache, CacheOutcome, Dram, LINE_BYTES};
-use ggpu_sm::{CtaConfig, MemRequest, ReqKind, SmCore, TickOutput};
+use ggpu_sm::{CtaConfig, MemRequest, ReqKind, SmCore, TickOutput, Trap, WarpReport, WarpWait};
 
 use crate::config::GpuConfig;
+use crate::error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 use crate::memory::{DeviceMemory, DevicePtr};
 use crate::stats::{HostStats, RunStats};
 
-/// Cap on simulated cycles per `synchronize`, to turn accidental deadlocks
-/// into loud failures instead of hangs.
+/// Absolute backstop on simulated cycles per `synchronize`. The configurable
+/// forward-progress watchdog ([`GpuConfig::watchdog_cycles`]) normally fires
+/// long before this; the backstop only matters if a workload keeps producing
+/// token progress (e.g. one instruction every few thousand cycles) forever.
 const MAX_SYNC_CYCLES: u64 = 2_000_000_000;
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     /// A request packet arrived at its memory partition.
-    L2Arrive { sm: usize, id: u64, addr: u64, kind: u8, tex: bool },
+    L2Arrive {
+        sm: usize,
+        id: u64,
+        addr: u64,
+        kind: u8,
+        tex: bool,
+    },
     /// A reply packet arrived back at its SM.
     Reply { sm: usize, id: u64 },
 }
@@ -50,6 +59,8 @@ struct Grid {
     /// grid reaches the head of its queue.
     armed_at: Option<u64>,
     from_host: bool,
+    /// CDP nesting depth: 0 for host grids, parent + 1 for children.
+    depth: u32,
 }
 
 impl Grid {
@@ -96,6 +107,13 @@ pub struct Gpu {
     dram_wait: Vec<VecDeque<(u64, u64)>>,
     dispatch_cursor: usize,
     host: HostStats,
+    /// Sticky device fault (CUDA semantics): once set, every device-touching
+    /// API call returns it until [`Gpu::reset_fault`].
+    fault: Option<SimError>,
+    /// Last cycle at which the forward-progress watchdog observed activity.
+    last_progress: u64,
+    /// Replies sent so far, for deterministic drop-the-Nth injection.
+    replies_sent: u64,
 }
 
 impl Gpu {
@@ -116,9 +134,11 @@ impl Gpu {
             .collect();
         let icnt_req = Icnt::new(config.icnt, config.n_sms, config.n_partitions);
         let icnt_rep = Icnt::new(config.icnt, config.n_sms, config.n_partitions);
+        let mut mem = DeviceMemory::new();
+        mem.set_poison(config.fault_plan.poison);
         Gpu {
             sms,
-            mem: DeviceMemory::new(),
+            mem,
             l2,
             dram,
             icnt_req,
@@ -137,6 +157,9 @@ impl Gpu {
             dram_wait: vec![VecDeque::new(); config.n_partitions],
             dispatch_cursor: 0,
             host: HostStats::default(),
+            fault: None,
+            last_progress: 0,
+            replies_sent: 0,
             config,
             program,
         }
@@ -168,28 +191,85 @@ impl Gpu {
     }
 
     // ---- host API -------------------------------------------------------
+    //
+    // Each operation comes in a fallible `try_*` flavour returning
+    // `Result<_, SimError>` and a thin panicking wrapper keeping the
+    // original signature. Guest faults and deadlocks are *sticky*: after
+    // one, every `try_*` call returns the same error until `reset_fault`.
+
+    /// Allocate device memory, failing when the configured capacity
+    /// ([`GpuConfig::memory_limit`]) would be exceeded.
+    ///
+    /// Allocation failure is *not* sticky (as in CUDA): the device stays
+    /// usable and smaller allocations may still succeed.
+    pub fn try_malloc(&mut self, bytes: u64) -> Result<DevicePtr, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        let in_use = self.mem.allocated();
+        if bytes.saturating_add(in_use) > self.config.memory_limit {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                in_use,
+                limit: self.config.memory_limit,
+            });
+        }
+        Ok(self.mem.alloc(bytes))
+    }
 
     /// Allocate device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Gpu::try_malloc`] would return an error.
     pub fn malloc(&mut self, bytes: u64) -> DevicePtr {
-        self.mem.alloc(bytes)
+        self.try_malloc(bytes)
+            .unwrap_or_else(|e| panic!("malloc failed: {e}"))
     }
 
     /// Copy host data to the device (one PCI transaction).
-    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) {
+    pub fn try_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> Result<(), SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
         self.mem.write_slice(dst, data);
         self.host.pci_count += 1;
         self.host.h2d_bytes += data.len() as u64;
-        self.host.pci_cycles +=
-            self.config.pcie.latency + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        self.host.pci_cycles += self.config.pcie.latency
+            + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        Ok(())
+    }
+
+    /// Copy host data to the device (one PCI transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is in the fault state.
+    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) {
+        self.try_memcpy_h2d(dst, data)
+            .unwrap_or_else(|e| panic!("memcpy_h2d failed: {e}"));
     }
 
     /// Copy device data back to the host (one PCI transaction).
-    pub fn memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Vec<u8> {
+    pub fn try_memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Result<Vec<u8>, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
         self.host.pci_count += 1;
         self.host.d2h_bytes += len as u64;
         self.host.pci_cycles +=
             self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
-        self.mem.read_slice(src, len)
+        Ok(self.mem.read_slice(src, len))
+    }
+
+    /// Copy device data back to the host (one PCI transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is in the fault state.
+    pub fn memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Vec<u8> {
+        self.try_memcpy_d2h(src, len)
+            .unwrap_or_else(|e| panic!("memcpy_d2h failed: {e}"))
     }
 
     /// Bind a constant-memory image to a kernel (as `cudaMemcpyToSymbol`
@@ -198,20 +278,77 @@ impl Gpu {
         self.const_bindings.insert(kernel.0, Arc::new(data));
     }
 
-    /// Enqueue a grid on the default stream (serialized with prior host
-    /// launches). Returns the grid handle.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `kernel` is not in the program.
-    pub fn launch(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
-        let k: &Kernel = self.program.kernel(kernel);
-        let local_stride = k.local_bytes_per_thread as u64;
-        let local_base = if local_stride > 0 {
-            self.mem.alloc(local_stride * dims.total_threads()).0
-        } else {
-            0
+    /// Validate a launch configuration against the program and the SM
+    /// resource limits; `Err` carries the specific [`LaunchProblem`].
+    fn validate_launch(
+        &self,
+        kernel: KernelId,
+        dims: LaunchDims,
+        params: &[u64],
+    ) -> Result<(), SimError> {
+        let k = match self.program.get(kernel) {
+            Some(k) => k,
+            None => {
+                return Err(SimError::InvalidLaunch {
+                    kernel: format!("k{}", kernel.0),
+                    problem: LaunchProblem::UnknownKernel,
+                })
+            }
         };
+        let invalid = |problem| SimError::InvalidLaunch {
+            kernel: k.name.clone(),
+            problem,
+        };
+        let tpc = dims.threads_per_cta();
+        if dims.num_ctas() == 0 || tpc == 0 {
+            return Err(invalid(LaunchProblem::ZeroDimension));
+        }
+        let sm = &self.config.sm;
+        if tpc > sm.max_threads {
+            return Err(invalid(LaunchProblem::TooManyThreads {
+                requested: tpc,
+                limit: sm.max_threads,
+            }));
+        }
+        let regs = k.regs_per_thread.saturating_mul(tpc);
+        if regs > sm.registers {
+            return Err(invalid(LaunchProblem::RegistersExceeded {
+                requested: regs,
+                limit: sm.registers,
+            }));
+        }
+        if k.smem_per_cta > sm.smem_bytes {
+            return Err(invalid(LaunchProblem::SharedMemExceeded {
+                requested: k.smem_per_cta,
+                limit: sm.smem_bytes,
+            }));
+        }
+        let required = k.param_words_required();
+        if params.len() < required {
+            return Err(invalid(LaunchProblem::ParamCountMismatch {
+                required,
+                provided: params.len(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Enqueue a grid on the default stream (serialized with prior host
+    /// launches) after validating the configuration. Returns the grid
+    /// handle.
+    pub fn try_launch(
+        &mut self,
+        kernel: KernelId,
+        dims: LaunchDims,
+        params: &[u64],
+    ) -> Result<u64, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        self.validate_launch(kernel, dims, params)?;
+        let program = Arc::clone(&self.program);
+        let k: &Kernel = program.kernel(kernel);
+        let (local_base, local_stride) = self.alloc_local_arena(k, dims);
         let const_data = self
             .const_bindings
             .get(&kernel.0)
@@ -233,11 +370,59 @@ impl Gpu {
                 parent: None,
                 armed_at: None,
                 from_host: true,
+                depth: 0,
             },
         );
         self.host_queue.push_back(handle);
         self.host.kernel_launches += 1;
-        handle
+        Ok(handle)
+    }
+
+    /// Enqueue a grid on the default stream. Returns the grid handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Gpu::try_launch`] would return an error (unknown
+    /// kernel, invalid configuration, or a prior sticky fault).
+    pub fn launch(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
+        self.try_launch(kernel, dims, params)
+            .unwrap_or_else(|e| panic!("launch failed: {e}"))
+    }
+
+    /// Run the device until all launched grids complete; returns elapsed
+    /// kernel cycles.
+    ///
+    /// When a warp raises a guest fault, the device drains in-flight work,
+    /// enters the (sticky) fault state, and this returns the
+    /// [`SimError::DeviceFault`]. When the forward-progress watchdog sees
+    /// no activity for [`GpuConfig::watchdog_cycles`] consecutive cycles,
+    /// the device is halted the same way and this returns a
+    /// [`SimError::Deadlock`] with a per-warp blocked-state report. Either
+    /// way the `Gpu` stays usable after [`Gpu::reset_fault`].
+    pub fn try_synchronize(&mut self) -> Result<u64, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        let start = self.cycle;
+        self.last_progress = self.cycle;
+        while self.busy() {
+            self.tick();
+            if let Some(f) = self.fault.clone() {
+                self.host.kernel_cycles += self.cycle - start;
+                return Err(f);
+            }
+            let stalled = self.cycle - self.last_progress;
+            if stalled >= self.config.watchdog_cycles || self.cycle - start >= MAX_SYNC_CYCLES {
+                let err = SimError::Deadlock(Box::new(self.deadlock_report(stalled)));
+                self.fault = Some(err.clone());
+                self.halt_device();
+                self.host.kernel_cycles += self.cycle - start;
+                return Err(err);
+            }
+        }
+        let elapsed = self.cycle - start;
+        self.host.kernel_cycles += elapsed;
+        Ok(elapsed)
     }
 
     /// Run the device until all launched grids complete; returns elapsed
@@ -245,26 +430,44 @@ impl Gpu {
     ///
     /// # Panics
     ///
-    /// Panics if the device does not drain within two billion cycles
-    /// (deadlock guard).
+    /// Panics where [`Gpu::try_synchronize`] would return an error (guest
+    /// fault or deadlock).
     pub fn synchronize(&mut self) -> u64 {
-        let start = self.cycle;
-        while self.busy() {
-            self.tick();
-            assert!(
-                self.cycle - start < MAX_SYNC_CYCLES,
-                "synchronize exceeded {MAX_SYNC_CYCLES} cycles — device deadlock?"
-            );
-        }
-        let elapsed = self.cycle - start;
-        self.host.kernel_cycles += elapsed;
-        elapsed
+        self.try_synchronize()
+            .unwrap_or_else(|e| panic!("synchronize failed: {e}"))
     }
 
     /// Convenience: launch one grid and synchronize.
+    pub fn try_run_kernel(
+        &mut self,
+        kernel: KernelId,
+        dims: LaunchDims,
+        params: &[u64],
+    ) -> Result<u64, SimError> {
+        self.try_launch(kernel, dims, params)?;
+        self.try_synchronize()
+    }
+
+    /// Convenience: launch one grid and synchronize.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Gpu::try_run_kernel`] would return an error.
     pub fn run_kernel(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
-        self.launch(kernel, dims, params);
-        self.synchronize()
+        self.try_run_kernel(kernel, dims, params)
+            .unwrap_or_else(|e| panic!("kernel failed: {e}"))
+    }
+
+    /// The sticky fault the device is currently in, if any.
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref()
+    }
+
+    /// Clear the sticky fault state and return it. The device was already
+    /// halted and drained when the fault was raised, so it is immediately
+    /// ready for new launches (memory contents and statistics survive).
+    pub fn reset_fault(&mut self) -> Option<SimError> {
+        self.fault.take()
     }
 
     /// Whether any work remains on the device.
@@ -368,6 +571,13 @@ impl Gpu {
     }
 
     fn send_reply(&mut self, part: usize, sm: usize, id: u64, extra_delay: u64) {
+        let n = self.replies_sent;
+        self.replies_sent += 1;
+        if self.config.fault_plan.drop_reply == Some(n) {
+            // Injected loss: the waiting warp never unblocks and the
+            // watchdog reports the hang.
+            return;
+        }
         let t = self.icnt_rep.send(
             self.icnt_rep.dst_node(part),
             self.icnt_rep.src_node(sm),
@@ -387,10 +597,16 @@ impl Gpu {
                     self.send_reply(part, sm, id, self.config.l2_latency);
                 }
                 CacheOutcome::MshrMerged => {
-                    self.l2_waiters.entry((part, line)).or_default().push((sm, id));
+                    self.l2_waiters
+                        .entry((part, line))
+                        .or_default()
+                        .push((sm, id));
                 }
                 _ => {
-                    self.l2_waiters.entry((part, line)).or_default().push((sm, id));
+                    self.l2_waiters
+                        .entry((part, line))
+                        .or_default()
+                        .push((sm, id));
                     self.enqueue_dram(part, addr, DramTarget::Fill { part, line });
                 }
             },
@@ -514,6 +730,104 @@ impl Gpu {
         }
     }
 
+    /// Allocate a grid's local-memory arena, returning `(base, stride)`.
+    ///
+    /// The per-thread stride is rounded up to 8 bytes and the arena is sized
+    /// in whole warps: the warp-interleaved layout places same-granule
+    /// accesses of all 32 lanes adjacently, so an unaligned stride (or a
+    /// partial final warp) would otherwise reach past the allocation and
+    /// trip the architectural bounds check.
+    fn alloc_local_arena(&mut self, k: &Kernel, dims: LaunchDims) -> (u64, u64) {
+        let local_stride = (k.local_bytes_per_thread as u64).next_multiple_of(8);
+        if local_stride == 0 {
+            return (0, 0);
+        }
+        let warp_slots = dims.num_ctas() * dims.warps_per_cta() as u64;
+        let base = self
+            .mem
+            .alloc(local_stride * warp_slots * ggpu_isa::WARP_SIZE as u64)
+            .0;
+        (base, local_stride)
+    }
+
+    // ---- fault handling ---------------------------------------------------
+
+    /// Compose the host-facing error for a warp trap raised on SM `sm`.
+    fn fault_from_trap(&self, sm: usize, t: &Trap) -> SimError {
+        let kernel = self
+            .program
+            .get(t.kernel)
+            .map(|k| k.name.clone())
+            .unwrap_or_else(|| format!("k{}", t.kernel.0));
+        SimError::DeviceFault(Box::new(DeviceFault {
+            kind: t.kind,
+            kernel,
+            sm,
+            cta: Some(t.cta_linear),
+            warp: Some(t.warp),
+            warp_in_cta: Some(t.warp_in_cta),
+            lane_mask: Some(t.lane_mask),
+            pc: Some(t.pc),
+            instr: t.instr.clone(),
+            addr: t.addr,
+            cycle: self.cycle,
+        }))
+    }
+
+    /// Halt the device after a fault: abort resident work on every SM, drop
+    /// queued grids and in-flight packets, and drain the DRAM channels so
+    /// the device returns to a clean idle state. Memory contents, cache
+    /// tags, and statistics survive.
+    fn halt_device(&mut self) {
+        for sm in &mut self.sms {
+            sm.abort_workload();
+        }
+        self.events.clear();
+        self.host_queue.clear();
+        self.device_queue.clear();
+        self.grids.clear();
+        self.l2_waiters.clear();
+        self.dram_inflight.clear();
+        for q in &mut self.dram_wait {
+            q.clear();
+        }
+        // Drain DRAM off the device clock; completions are discarded since
+        // their waiters were just aborted. Bounded: one issue per cycle and
+        // bounded per-request latency, the cap is never the limiter.
+        let mut t = self.cycle;
+        let deadline = self.cycle + 1_000_000;
+        while self.dram.iter().any(|d| !d.is_idle()) && t < deadline {
+            t += 1;
+            for d in &mut self.dram {
+                let _ = d.tick(t);
+            }
+        }
+    }
+
+    /// Snapshot everything a deadlock post-mortem needs. Must run *before*
+    /// [`Gpu::halt_device`] wipes the state it describes.
+    fn deadlock_report(&self, stalled_for: u64) -> DeadlockReport {
+        let mut warps: Vec<WarpReport> = Vec::new();
+        for (i, sm) in self.sms.iter().enumerate() {
+            warps.extend(
+                sm.warp_report(i)
+                    .into_iter()
+                    .filter(|w| w.wait != WarpWait::Done),
+            );
+        }
+        DeadlockReport {
+            cycle: self.cycle,
+            stalled_for,
+            warps,
+            host_queue: self.host_queue.len(),
+            device_queue: self.device_queue.len(),
+            events_in_flight: self.events.len(),
+            outstanding_requests: self.sms.iter().map(|s| s.outstanding_requests()).sum(),
+            dram_queued: self.dram.iter().map(|d| d.queue_depth()).sum::<usize>()
+                + self.dram_wait.iter().map(|q| q.len()).sum::<usize>(),
+        }
+    }
+
     fn grid_done(&mut self, handle: u64) {
         let grid = match self.grids.remove(&handle) {
             Some(g) => g,
@@ -528,8 +842,12 @@ impl Gpu {
         }
     }
 
-    /// Advance the device one cycle.
+    /// Advance the device one cycle. No-op while the device is in the fault
+    /// state (until [`Gpu::reset_fault`]).
     pub fn tick(&mut self) {
+        if self.fault.is_some() {
+            return;
+        }
         self.cycle += 1;
         let now = self.cycle;
 
@@ -540,9 +858,13 @@ impl Gpu {
             }
             let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
             match ev {
-                Ev::L2Arrive { sm, id, addr, kind, tex } => {
-                    self.handle_l2_arrive(sm, id, addr, kind, tex)
-                }
+                Ev::L2Arrive {
+                    sm,
+                    id,
+                    addr,
+                    kind,
+                    tex,
+                } => self.handle_l2_arrive(sm, id, addr, kind, tex),
                 Ev::Reply { sm, id } => self.sms[sm].mem_response(id, now),
             }
         }
@@ -559,6 +881,7 @@ impl Gpu {
             .values()
             .any(|g| !g.fully_dispatched() || g.armed_at.map(|t| now < t).unwrap_or(true));
         let mut out = TickOutput::default();
+        let mut first_trap: Option<(usize, Trap)> = None;
         for sm in 0..self.sms.len() {
             self.sms[sm].tick(now, &mut self.mem, device_busy, &mut out);
             let requests = std::mem::take(&mut out.mem_requests);
@@ -578,22 +901,88 @@ impl Gpu {
                     }
                 }
             }
+            for t in std::mem::take(&mut out.traps) {
+                if first_trap.is_none() {
+                    first_trap = Some((sm, t));
+                }
+            }
+        }
+
+        // 5. Fault resolution: the first trap of the cycle (or a CDP-limit
+        // fault raised in `spawn_child`) puts the device into the sticky
+        // fault state and halts it.
+        if self.fault.is_none() {
+            if let Some((sm, t)) = first_trap {
+                self.fault = Some(self.fault_from_trap(sm, &t));
+            }
+        }
+        if self.fault.is_some() {
+            self.halt_device();
+            return;
+        }
+
+        // 6. Forward-progress watchdog bookkeeping. Progress means: an
+        // instruction issued, a network packet is still in flight, a DRAM
+        // channel is working, or a grid is waiting out its launch overhead.
+        let progress = out.issued > 0
+            || !self.events.is_empty()
+            || self.dram.iter().any(|d| !d.is_idle())
+            || self
+                .grids
+                .values()
+                .any(|g| g.armed_at.is_some_and(|t| t > now));
+        if progress {
+            self.last_progress = now;
         }
     }
 
     fn spawn_child(&mut self, parent_sm: usize, l: ggpu_sm::DeviceLaunch) {
+        if self.fault.is_some() {
+            return;
+        }
+        let parent = self.grids.get(&l.parent_grid);
+        let depth = parent.map(|g| g.depth).unwrap_or(0) + 1;
+        let forced_full = self
+            .config
+            .fault_plan
+            .cdp_full_at
+            .is_some_and(|c| self.cycle >= c);
+        let queue_full = forced_full || self.device_queue.len() >= self.config.cdp_queue_limit;
+        let too_deep = depth > self.config.cdp_max_depth;
+        if queue_full || too_deep {
+            let kind = if queue_full {
+                FaultKind::CdpQueueOverflow
+            } else {
+                FaultKind::CdpNestingExceeded
+            };
+            let kernel = parent
+                .map(|g| g.kernel)
+                .and_then(|k| self.program.get(k))
+                .map(|k| k.name.clone())
+                .unwrap_or_else(|| "?".to_string());
+            self.fault = Some(SimError::DeviceFault(Box::new(DeviceFault {
+                kind,
+                kernel,
+                sm: parent_sm,
+                cta: None,
+                warp: None,
+                warp_in_cta: None,
+                lane_mask: None,
+                pc: None,
+                instr: format!("launch k{} grid {} block {}", l.kernel, l.grid_x, l.block_x),
+                addr: None,
+                cycle: self.cycle,
+            })));
+            return;
+        }
         let kernel = KernelId(l.kernel);
-        let k = match self.program.get(kernel) {
+        let program = Arc::clone(&self.program);
+        let k = match program.get(kernel) {
             Some(k) => k,
             None => return,
         };
         let dims = LaunchDims::linear(l.grid_x, l.block_x);
-        let local_stride = k.local_bytes_per_thread as u64;
-        let local_base = if local_stride > 0 {
-            self.mem.alloc(local_stride * dims.total_threads()).0
-        } else {
-            0
-        };
+        let (local_base, local_stride) = self.alloc_local_arena(k, dims);
         let const_data = self
             .const_bindings
             .get(&l.kernel)
@@ -615,6 +1004,7 @@ impl Gpu {
                 parent: Some((parent_sm, l.parent_slot, l.parent_grid)),
                 armed_at: Some(self.cycle + self.config.cdp_launch_overhead),
                 from_host: false,
+                depth,
             },
         );
         self.device_queue.push_back(handle);

@@ -44,16 +44,24 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod config;
 mod device;
+mod error;
 mod memory;
 mod stats;
 
-pub use config::{GpuConfig, PcieConfig};
+pub use config::{FaultPlan, GpuConfig, PcieConfig};
 pub use device::Gpu;
+pub use error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 pub use memory::{DeviceMemory, DevicePtr};
 pub use stats::{HostStats, RunStats};
+
+// Re-export the fault vocabulary so harnesses matching on errors don't need
+// direct `ggpu-isa` / `ggpu-sm` dependencies.
+pub use ggpu_isa::FaultKind;
+pub use ggpu_sm::{WarpReport, WarpWait};
 
 #[cfg(test)]
 mod tests {
@@ -85,7 +93,11 @@ mod tests {
         let cycles = gpu.run_kernel(k, LaunchDims::linear(8, 32), &[out.0]);
         assert!(cycles > 0);
         for tid in 0..256u64 {
-            assert_eq!(gpu.memory().read_u64(out.offset(tid * 8)), tid * 2, "tid {tid}");
+            assert_eq!(
+                gpu.memory().read_u64(out.offset(tid * 8)),
+                tid * 2,
+                "tid {tid}"
+            );
         }
         let s = gpu.stats();
         assert_eq!(s.host.kernel_launches, 1);
@@ -168,7 +180,13 @@ mod tests {
             let pblock = b.reg();
             b.ld_param(pblock, 1);
             b.st(Space::Global, Width::B64, Operand::reg(data), pblock, 0);
-            b.launch(1, Operand::imm(2), Operand::imm(32), Operand::reg(pblock), 1);
+            b.launch(
+                1,
+                Operand::imm(2),
+                Operand::imm(32),
+                Operand::reg(pblock),
+                1,
+            );
             b.dsync();
             let flag = b.reg();
             b.ld_param(flag, 2);
@@ -206,7 +224,11 @@ mod tests {
             &[data.0, pblock.0, flag.0],
         );
         for i in 0..64u64 {
-            assert_eq!(gpu.memory().read_u64(data.offset(i * 8)), (i + 1) * 2, "i={i}");
+            assert_eq!(
+                gpu.memory().read_u64(data.offset(i * 8)),
+                (i + 1) * 2,
+                "i={i}"
+            );
         }
         // Parent observed the child's doubled value after dsync.
         assert_eq!(gpu.memory().read_u64(flag), 2);

@@ -1,6 +1,6 @@
 //! Functional device memory: a flat byte image with a bump allocator.
 
-use ggpu_isa::{AtomOp, Width};
+use ggpu_isa::{AtomOp, FaultKind, Width};
 use ggpu_sm::GlobalMem;
 
 /// A typed device pointer returned by [`DeviceMemory::alloc`].
@@ -22,10 +22,18 @@ impl std::fmt::Display for DevicePtr {
 
 /// Flat functional memory image. Reads outside the written region return
 /// zero; writes grow the image (capped only by host memory).
+///
+/// The functional `read`/`write` paths stay permissive (timing models probe
+/// them freely); architectural bounds checking happens separately through
+/// [`GlobalMem::check`], which the SM consults per lane before any access
+/// and turns violations into guest faults.
 #[derive(Debug, Default)]
 pub struct DeviceMemory {
     data: Vec<u8>,
     cursor: u64,
+    /// Injected unmapped range (`[start, end)`); accesses overlapping it
+    /// fault as illegal addresses.
+    poison: Option<(u64, u64)>,
 }
 
 /// Allocation alignment for [`DeviceMemory::alloc`].
@@ -39,7 +47,18 @@ impl DeviceMemory {
         DeviceMemory {
             data: Vec::new(),
             cursor: BASE,
+            poison: None,
         }
+    }
+
+    /// Mark `[start, end)` as unmapped for fault injection (`None` clears).
+    pub fn set_poison(&mut self, range: Option<(u64, u64)>) {
+        self.poison = range;
+    }
+
+    /// One past the highest allocated address (the allocation frontier).
+    pub fn frontier(&self) -> u64 {
+        self.cursor
     }
 
     /// Allocate `bytes` of device memory (256-byte aligned).
@@ -91,6 +110,26 @@ impl DeviceMemory {
 }
 
 impl GlobalMem for DeviceMemory {
+    fn check(&self, addr: u64, width: Width, _store: bool) -> Option<FaultKind> {
+        let w = width.bytes();
+        if !addr.is_multiple_of(w) {
+            return Some(FaultKind::MisalignedAccess);
+        }
+        let end = match addr.checked_add(w) {
+            Some(e) => e,
+            None => return Some(FaultKind::IllegalAddress),
+        };
+        if addr < BASE || end > self.cursor {
+            return Some(FaultKind::IllegalAddress);
+        }
+        if let Some((lo, hi)) = self.poison {
+            if addr < hi && end > lo {
+                return Some(FaultKind::IllegalAddress);
+            }
+        }
+        None
+    }
+
     fn read(&mut self, addr: u64, width: Width) -> u64 {
         let mut v = 0u64;
         for i in 0..width.bytes() {
@@ -172,5 +211,58 @@ mod tests {
     #[test]
     fn device_ptr_display() {
         assert_eq!(DevicePtr(0x1000).to_string(), "0x1000");
+    }
+
+    #[test]
+    fn check_rejects_null_unallocated_and_misaligned() {
+        let mut m = DeviceMemory::new();
+        let p = m.alloc(64);
+        assert_eq!(m.check(p.0, Width::B64, false), None);
+        assert_eq!(m.check(p.0 + 56, Width::B64, true), None);
+        // Null page.
+        assert_eq!(
+            m.check(0, Width::B8, false),
+            Some(FaultKind::IllegalAddress)
+        );
+        // Past the allocation frontier.
+        assert_eq!(
+            m.check(m.frontier(), Width::B32, false),
+            Some(FaultKind::IllegalAddress)
+        );
+        // Misaligned within bounds.
+        assert_eq!(
+            m.check(p.0 + 1, Width::B32, false),
+            Some(FaultKind::MisalignedAccess)
+        );
+        // Address-space wraparound.
+        assert_eq!(
+            m.check(u64::MAX - 3, Width::B64, false),
+            Some(FaultKind::MisalignedAccess)
+        );
+    }
+
+    #[test]
+    fn poison_range_faults_inside_live_allocation() {
+        let mut m = DeviceMemory::new();
+        let p = m.alloc(256);
+        assert_eq!(m.check(p.0 + 128, Width::B64, false), None);
+        m.set_poison(Some((p.0 + 128, p.0 + 160)));
+        assert_eq!(
+            m.check(p.0 + 128, Width::B64, false),
+            Some(FaultKind::IllegalAddress)
+        );
+        // Overlap from below.
+        assert_eq!(
+            m.check(p.0 + 124, Width::B32, true),
+            None,
+            "access ending at the poison start is fine"
+        );
+        assert_eq!(
+            m.check(p.0 + 152, Width::B64, true),
+            Some(FaultKind::IllegalAddress)
+        );
+        assert_eq!(m.check(p.0 + 160, Width::B64, false), None);
+        m.set_poison(None);
+        assert_eq!(m.check(p.0 + 128, Width::B64, false), None);
     }
 }

@@ -1,7 +1,7 @@
 //! Memory-access coalescing and shared-memory bank-conflict analysis.
 
-use ggpu_mem::LINE_BYTES;
 use ggpu_isa::WARP_SIZE;
+use ggpu_mem::LINE_BYTES;
 
 use crate::warp::lanes;
 

@@ -113,6 +113,12 @@ pub struct SmConfig {
     /// contiguous private arena — an ablation that destroys local-memory
     /// coalescing and shows why the interleaved layout matters.
     pub interleave_local: bool,
+    /// Treat a barrier reached by a divergent warp subset as a guest fault
+    /// instead of parking the partial warp. Off by default: real GPUs leave
+    /// this undefined rather than trapping, and well-formed suite kernels
+    /// only hit barriers fully converged, but turning it on catches the
+    /// classic `__syncthreads()`-under-divergence bug deterministically.
+    pub trap_divergent_barrier: bool,
 }
 
 impl Default for SmConfig {
@@ -131,6 +137,7 @@ impl Default for SmConfig {
             lat: LatencyConfig::default(),
             perfect_memory: false,
             interleave_local: true,
+            trap_divergent_barrier: false,
         }
     }
 }
@@ -155,7 +162,10 @@ impl SmConfig {
             .registers
             .checked_div(regs_per_thread * threads_per_cta)
             .unwrap_or(u32::MAX);
-        let by_smem = self.smem_bytes.checked_div(smem_per_cta).unwrap_or(u32::MAX);
+        let by_smem = self
+            .smem_bytes
+            .checked_div(smem_per_cta)
+            .unwrap_or(u32::MAX);
         by_slots.min(by_threads).min(by_regs).min(by_smem)
     }
 }

@@ -3,11 +3,12 @@
 //! per-cycle stall accounting.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use ggpu_isa::{
-    AtomOp, CvtKind, Instr, Kernel, KernelId, LaunchDims, Operand, Program, Reg, Space, SpecialReg,
-    Width, WARP_SIZE,
+    AtomOp, CvtKind, FaultKind, Instr, Kernel, KernelId, LaunchDims, Operand, Program, Reg, Space,
+    SpecialReg, Width, WARP_SIZE,
 };
 use ggpu_mem::{Cache, CacheOutcome, CacheStats, LINE_BYTES};
 
@@ -25,6 +26,16 @@ pub trait GlobalMem {
     fn write(&mut self, addr: u64, width: Width, value: u64);
     /// Atomically apply `op`; returns the old value.
     fn atom(&mut self, op: AtomOp, addr: u64, src: u64, cas: u64) -> u64;
+    /// Would an access of `width` bytes at `addr` fault?
+    ///
+    /// Called per lane on the raw (pre-coalescing) addresses before any
+    /// functional access is performed; a `Some` answer traps the warp
+    /// instead of executing it. The default accepts everything, so simple
+    /// test memories need not implement bounds.
+    fn check(&self, addr: u64, width: Width, store: bool) -> Option<FaultKind> {
+        let _ = (addr, width, store);
+        None
+    }
 }
 
 /// Kind of off-chip memory request.
@@ -98,6 +109,116 @@ pub struct CompletedCta {
     pub slot: usize,
 }
 
+/// A guest fault raised by a warp, carrying enough context for the device
+/// to compose a CUDA-style error report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trap {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Kernel the faulting warp was running.
+    pub kernel: KernelId,
+    /// SM-local CTA slot the warp belonged to.
+    pub slot: usize,
+    /// Linear CTA index within its grid.
+    pub cta_linear: u64,
+    /// SM-local warp index.
+    pub warp: usize,
+    /// Warp index within the CTA.
+    pub warp_in_cta: u32,
+    /// Lanes that faulted (memory faults) or were active (others).
+    pub lane_mask: u32,
+    /// Program counter of the faulting instruction.
+    pub pc: usize,
+    /// Disassembly of the faulting instruction.
+    pub instr: String,
+    /// First faulting address, for memory faults.
+    pub addr: Option<u64>,
+}
+
+/// Why a resident warp is currently not retiring instructions, as reported
+/// by [`SmCore::warp_report`] for deadlock diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpWait {
+    /// Runnable (the scheduler simply has not picked it yet).
+    Runnable,
+    /// Parked at the CTA barrier; `arrived` of `running` warps are there.
+    Barrier {
+        /// Warps of the CTA that have reached the barrier.
+        arrived: u32,
+        /// Warps of the CTA still running.
+        running: u32,
+    },
+    /// Waiting in `cudaDeviceSynchronize` on outstanding child grids.
+    Dsync {
+        /// Child grids the CTA is still waiting for.
+        children: u32,
+    },
+    /// Trapped on a guest fault.
+    Trapped,
+    /// Waiting on outstanding memory fills.
+    Memory {
+        /// Pending register fills (MSHR entries this warp waits on).
+        fills: u32,
+    },
+    /// Finished (executed `Exit`).
+    Done,
+}
+
+impl fmt::Display for WarpWait {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarpWait::Runnable => write!(f, "runnable"),
+            WarpWait::Barrier { arrived, running } => {
+                write!(f, "at barrier ({arrived}/{running} warps arrived)")
+            }
+            WarpWait::Dsync { children } => {
+                write!(
+                    f,
+                    "in cudaDeviceSynchronize ({children} child grids pending)"
+                )
+            }
+            WarpWait::Trapped => write!(f, "trapped"),
+            WarpWait::Memory { fills } => write!(f, "awaiting {fills} memory fills"),
+            WarpWait::Done => write!(f, "done"),
+        }
+    }
+}
+
+/// Snapshot of one resident warp's blocked-state for the deadlock report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpReport {
+    /// Device-wide SM index (provided by the caller).
+    pub sm: usize,
+    /// SM-local warp index.
+    pub warp: usize,
+    /// Kernel name.
+    pub kernel: String,
+    /// Linear CTA index within its grid.
+    pub cta: u64,
+    /// Warp index within the CTA.
+    pub warp_in_cta: u32,
+    /// Current PC (`None` once done).
+    pub pc: Option<usize>,
+    /// What the warp is blocked on.
+    pub wait: WarpWait,
+}
+
+impl fmt::Display for WarpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sm {} warp {} ({} cta {} warp-in-cta {}, pc {}): {}",
+            self.sm,
+            self.warp,
+            self.kernel,
+            self.cta,
+            self.warp_in_cta,
+            self.pc.map_or("-".to_string(), |p| p.to_string()),
+            self.wait
+        )
+    }
+}
+
 /// Everything produced by one SM cycle.
 #[derive(Debug, Default)]
 pub struct TickOutput {
@@ -107,6 +228,11 @@ pub struct TickOutput {
     pub launches: Vec<DeviceLaunch>,
     /// CTAs that completed this cycle.
     pub completed: Vec<CompletedCta>,
+    /// Guest faults raised this cycle.
+    pub traps: Vec<Trap>,
+    /// Warp-instructions issued; accumulates across calls (the device reads
+    /// it once per device cycle as a forward-progress signal and resets it).
+    pub issued: u64,
 }
 
 #[derive(Debug)]
@@ -396,7 +522,9 @@ impl SmCore {
             // done" (the paper's NvB signature); an SM with no work at all
             // is unused, not stalled, and contributes nothing to Figure 5.
             if device_busy {
-                self.stats.stalls.add(StallReason::FunctionalDone, nsched as u64);
+                self.stats
+                    .stalls
+                    .add(StallReason::FunctionalDone, nsched as u64);
             }
             return;
         }
@@ -467,8 +595,20 @@ impl SmCore {
             let w = self.warps[widx].as_mut()?;
             let entry = w.reconverge()?;
             let kernel = program.kernel(kid);
-            let instr = &kernel.instrs[entry.pc];
-            (instr.src_array(), instr.dst())
+            match kernel.instrs.get(entry.pc) {
+                Some(instr) => (instr.src_array(), instr.dst()),
+                // PC fell off the instruction stream: report the warp as
+                // ready so the scheduler picks it and `issue` can raise the
+                // InvalidPc trap (unless it is already parked/trapped).
+                None => {
+                    let w = self.warps[widx].as_ref()?;
+                    return Some(if w.block == WarpBlock::None {
+                        WaitKind::Ready
+                    } else {
+                        WaitKind::Sync
+                    });
+                }
+            }
         };
         let w = self.warps[widx].as_ref()?;
         Some(w.wait_kind(&srcs, dst, now))
@@ -645,8 +785,7 @@ impl SmCore {
             let thread_global = cfg.cta_linear * cfg.dims.threads_per_cta() as u64 + tid;
             return cfg.local_base + thread_global * cfg.local_stride + addr;
         }
-        let warp_global =
-            cfg.cta_linear * cfg.dims.warps_per_cta() as u64 + warp_in_cta as u64;
+        let warp_global = cfg.cta_linear * cfg.dims.warps_per_cta() as u64 + warp_in_cta as u64;
         let granule = addr / 8;
         let rem = addr % 8;
         let warp_stride = cfg.local_stride * WARP_SIZE as u64;
@@ -655,6 +794,162 @@ impl SmCore {
             + granule * (8 * WARP_SIZE as u64)
             + lane as u64 * 8
             + rem
+    }
+
+    /// Park warp `widx` as trapped and report the guest fault.
+    #[allow(clippy::too_many_arguments)]
+    fn trap(
+        &mut self,
+        widx: usize,
+        slot_idx: usize,
+        kind: FaultKind,
+        pc: usize,
+        lane_mask: u32,
+        addr: Option<u64>,
+        out: &mut TickOutput,
+    ) {
+        let kid = self.slots[slot_idx].cfg.kernel_id;
+        let cta_linear = self.slots[slot_idx].cfg.cta_linear;
+        let instr = self
+            .program
+            .get(kid)
+            .and_then(|k| k.instrs.get(pc))
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "<no instruction>".into());
+        let warp_in_cta = self.warps[widx]
+            .as_ref()
+            .map(|w| w.warp_in_cta)
+            .unwrap_or(0);
+        if let Some(w) = self.warps[widx].as_mut() {
+            w.block = WarpBlock::Trapped;
+        }
+        out.traps.push(Trap {
+            kind,
+            kernel: kid,
+            slot: slot_idx,
+            cta_linear,
+            warp: widx,
+            warp_in_cta,
+            lane_mask,
+            pc,
+            instr,
+            addr,
+        });
+    }
+
+    /// First faulting lane's (kind, address) plus the mask of all faulting
+    /// lanes, checking the raw per-lane addresses against `gmem`.
+    fn check_lanes(
+        gmem: &dyn GlobalMem,
+        addrs: &[u64; WARP_SIZE],
+        mask: u32,
+        width: Width,
+        store: bool,
+    ) -> Option<(FaultKind, u64, u32)> {
+        let mut first: Option<(FaultKind, u64)> = None;
+        let mut faulting = 0u32;
+        for lane in lanes(mask) {
+            if let Some(k) = gmem.check(addrs[lane], width, store) {
+                faulting |= 1 << lane;
+                if first.is_none() {
+                    first = Some((k, addrs[lane]));
+                }
+            }
+        }
+        first.map(|(k, a)| (k, a, faulting))
+    }
+
+    /// Shared-memory variant of [`SmCore::check_lanes`]: any access ending
+    /// beyond `smem_len` overflows the CTA's allocation.
+    fn check_shared_lanes(
+        addrs: &[u64; WARP_SIZE],
+        mask: u32,
+        width: Width,
+        smem_len: usize,
+    ) -> Option<(u64, u32)> {
+        let mut first: Option<u64> = None;
+        let mut faulting = 0u32;
+        for lane in lanes(mask) {
+            if addrs[lane] + width.bytes() > smem_len as u64 {
+                faulting |= 1 << lane;
+                if first.is_none() {
+                    first = Some(addrs[lane]);
+                }
+            }
+        }
+        first.map(|a| (a, faulting))
+    }
+
+    /// Discard all resident work: CTAs, warps, outstanding requests and
+    /// MSHR waiters. The device calls this after a guest fault to return
+    /// the SM to a clean idle state; caches and statistics survive so they
+    /// stay inspectable post-mortem, and late memory responses for cleared
+    /// requests are dropped harmlessly.
+    pub fn abort_workload(&mut self) {
+        self.slots.clear();
+        self.free_slots.clear();
+        self.warps.clear();
+        self.free_warps.clear();
+        self.live_warps = 0;
+        self.used_threads = 0;
+        self.used_regs = 0;
+        self.used_smem = 0;
+        self.used_slots = 0;
+        self.outstanding.clear();
+        self.waiters.clear();
+        for c in &mut self.rr_cursor {
+            *c = 0;
+        }
+        for g in &mut self.gto_current {
+            *g = None;
+        }
+    }
+
+    /// Requests outstanding to the memory system.
+    pub fn outstanding_requests(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Blocked-state snapshot of every resident warp, tagged with the
+    /// caller-supplied device-wide SM index `sm`. Feeds the deadlock report.
+    pub fn warp_report(&self, sm: usize) -> Vec<WarpReport> {
+        let mut reports = Vec::new();
+        for (widx, w) in self.warps.iter().enumerate() {
+            let Some(w) = w else { continue };
+            let slot = &self.slots[w.cta_slot];
+            let kernel = self
+                .program
+                .get(slot.cfg.kernel_id)
+                .map(|k| k.name.clone())
+                .unwrap_or_else(|| format!("{}", slot.cfg.kernel_id));
+            let pending: u32 = w.reg_pending.iter().map(|&p| p as u32).sum();
+            let wait = if w.done {
+                WarpWait::Done
+            } else {
+                match w.block {
+                    WarpBlock::Barrier => WarpWait::Barrier {
+                        arrived: slot.barrier_count,
+                        running: slot.running,
+                    },
+                    WarpBlock::Dsync => WarpWait::Dsync {
+                        children: slot.children,
+                    },
+                    WarpBlock::Trapped => WarpWait::Trapped,
+                    WarpBlock::None if pending > 0 => WarpWait::Memory { fills: pending },
+                    WarpBlock::None => WarpWait::Runnable,
+                }
+            };
+            reports.push(WarpReport {
+                sm,
+                warp: widx,
+                kernel,
+                cta: slot.cfg.cta_linear,
+                warp_in_cta: w.warp_in_cta,
+                pc: w.stack.last().map(|e| e.pc),
+                wait,
+            });
+        }
+        reports
     }
 
     /// Issue one instruction from warp `widx`.
@@ -667,27 +962,45 @@ impl SmCore {
             (w.cta_slot, self.slots[w.cta_slot].cfg.kernel_id, entry)
         };
         let kernel: &Kernel = program.kernel(kid);
-        let instr = kernel.instrs[entry.pc].clone();
+        let Some(instr) = kernel.instrs.get(entry.pc).cloned() else {
+            // The PC fell off the end of the instruction stream (possible
+            // for hand-built kernels whose last path misses `Exit`).
+            self.trap(
+                widx,
+                slot_idx,
+                FaultKind::InvalidPc,
+                entry.pc,
+                entry.mask,
+                None,
+                out,
+            );
+            return;
+        };
         let mask = entry.mask;
         let nlanes = mask.count_ones();
         let pc = entry.pc;
         let lat = self.config.lat;
 
         self.stats.record_issue(instr.class(), nlanes);
+        out.issued += 1;
         if let Some(space) = instr.mem_space() {
             self.stats.record_mem(space);
         }
 
         // Default post-issue state; overridden below where needed.
         {
-            let w = self.warps[widx].as_mut().unwrap();
+            let w = self.warps[widx]
+                .as_mut()
+                .expect("scheduled warp is resident");
             w.next_issue_at = now + 1;
             w.issue_block_is_control = false;
         }
 
         match instr {
             Instr::Alu { op, dst, a, b } => {
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     let av = Self::opval(w, a, lane);
                     let bv = Self::opval(w, b, lane);
@@ -711,7 +1024,9 @@ impl SmCore {
                 w.advance_pc();
             }
             Instr::Fma { f64, dst, a, b, c } => {
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     let av = Self::opval(w, a, lane);
                     let bv = Self::opval(w, b, lane);
@@ -736,7 +1051,9 @@ impl SmCore {
                 w.advance_pc();
             }
             Instr::Mov { dst, src } => {
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     let v = Self::opval(w, src, lane);
                     w.write(dst, lane, v);
@@ -750,7 +1067,9 @@ impl SmCore {
                 if_true,
                 if_false,
             } => {
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     let c = w.read(cond, lane);
                     let v = if c != 0 {
@@ -763,8 +1082,16 @@ impl SmCore {
                 w.reg_ready[dst.0 as usize] = now + lat.int;
                 w.advance_pc();
             }
-            Instr::SetP { pred, cmp, ty, a, b } => {
-                let w = self.warps[widx].as_mut().unwrap();
+            Instr::SetP {
+                pred,
+                cmp,
+                ty,
+                a,
+                b,
+            } => {
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     let av = Self::opval(w, a, lane);
                     let bv = Self::opval(w, b, lane);
@@ -774,18 +1101,25 @@ impl SmCore {
                 w.advance_pc();
             }
             Instr::Cvt { kind, dst, src } => {
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     let v = Self::opval(w, src, lane);
                     w.write(dst, lane, kind.eval(v));
                 }
-                let fp = matches!(kind, CvtKind::I2D | CvtKind::D2I | CvtKind::F2D | CvtKind::D2F);
+                let fp = matches!(
+                    kind,
+                    CvtKind::I2D | CvtKind::D2I | CvtKind::F2D | CvtKind::D2F
+                );
                 w.reg_ready[dst.0 as usize] = now + if fp { lat.fp32 } else { lat.int };
                 w.advance_pc();
             }
             Instr::Sreg { dst, sreg } => {
                 let cfg = self.slots[slot_idx].cfg.clone();
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 let wic = w.warp_in_cta;
                 for lane in lanes(mask) {
                     w.write(dst, lane, Self::sreg_value(&cfg, wic, lane, sreg));
@@ -800,7 +1134,9 @@ impl SmCore {
                 addr,
                 offset,
             } => {
-                self.exec_load(widx, slot_idx, space, width, dst, addr, offset, now, gmem, out);
+                self.exec_load(
+                    widx, slot_idx, pc, space, width, dst, addr, offset, now, gmem, out,
+                );
             }
             Instr::St {
                 space,
@@ -809,7 +1145,9 @@ impl SmCore {
                 addr,
                 offset,
             } => {
-                self.exec_store(widx, slot_idx, space, width, src, addr, offset, now, gmem, out);
+                self.exec_store(
+                    widx, slot_idx, pc, space, width, src, addr, offset, now, gmem, out,
+                );
             }
             Instr::Atom {
                 op,
@@ -819,11 +1157,32 @@ impl SmCore {
                 src,
                 cas_cmp,
             } => {
-                self.exec_atomic(widx, slot_idx, op, space, dst, addr, src, cas_cmp, now, gmem, out);
+                self.exec_atomic(
+                    widx, slot_idx, pc, op, space, dst, addr, src, cas_cmp, now, gmem, out,
+                );
             }
             Instr::Bar => {
+                if self.config.trap_divergent_barrier
+                    && self.warps[widx]
+                        .as_ref()
+                        .map(|w| w.stack.len() > 1)
+                        .unwrap_or(false)
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    self.trap(
+                        widx,
+                        slot_idx,
+                        FaultKind::BarrierDivergence,
+                        pc,
+                        mask,
+                        None,
+                        out,
+                    );
+                    return;
+                }
+                {
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     w.advance_pc();
                     w.block = WarpBlock::Barrier;
                 }
@@ -846,7 +1205,9 @@ impl SmCore {
                 target,
                 reconv,
             } => {
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 let taken = match pred {
                     None => mask,
                     Some((r, expect)) => {
@@ -873,7 +1234,9 @@ impl SmCore {
             } => {
                 let mut launches = Vec::new();
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     for lane in lanes(mask) {
                         let gx = Self::opval(w, grid_x, lane).max(1) as u32;
                         let bx = Self::opval(w, block_x, lane).max(1) as u32;
@@ -884,6 +1247,15 @@ impl SmCore {
                     // Device-side launch overhead occupies the warp.
                     w.next_issue_at = now + lat.cmem_miss.max(100);
                     w.issue_block_is_control = true;
+                }
+                // Parameter-block reads fault like any other global access.
+                for &(_, _, ptr) in &launches {
+                    for i in 0..param_words as u64 {
+                        if let Some(k) = gmem.check(ptr + i * 8, Width::B64, false) {
+                            self.trap(widx, slot_idx, k, pc, mask, Some(ptr + i * 8), out);
+                            return;
+                        }
+                    }
                 }
                 let parent_grid = self.slots[slot_idx].cfg.grid_handle;
                 for (gx, bx, ptr) in launches {
@@ -905,7 +1277,9 @@ impl SmCore {
             }
             Instr::Dsync => {
                 let children = self.slots[slot_idx].children;
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.advance_pc();
                 if children > 0 {
                     w.block = WarpBlock::Dsync;
@@ -913,7 +1287,9 @@ impl SmCore {
             }
             Instr::Exit => {
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     w.done = true;
                 }
                 self.live_warps -= 1;
@@ -961,6 +1337,7 @@ impl SmCore {
         &mut self,
         widx: usize,
         slot_idx: usize,
+        pc: usize,
         space: Space,
         width: Width,
         dst: Reg,
@@ -974,8 +1351,10 @@ impl SmCore {
         match space {
             Space::Param => {
                 let params = Arc::clone(&self.slots[slot_idx].cfg.params);
-                let w = self.warps[widx].as_mut().unwrap();
-                for lane in lanes(w.reconverge().unwrap().mask) {
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
+                for lane in lanes(w.reconverge().expect("divergence stack entry").mask) {
                     let a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
                     let v = Self::param_read(&params, a, width);
                     w.write(dst, lane, v);
@@ -987,8 +1366,10 @@ impl SmCore {
                 let cdata = Arc::clone(&self.slots[slot_idx].cfg.const_data);
                 let mask;
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
-                    mask = w.reconverge().unwrap().mask;
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
+                    mask = w.reconverge().expect("divergence stack entry").mask;
                     for lane in lanes(mask) {
                         let a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
                         self.scratch_addrs[lane] = a;
@@ -1010,18 +1391,40 @@ impl SmCore {
                     }
                 }
                 self.scratch_lines = lines;
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.reg_ready[dst.0 as usize] = now + l;
                 w.advance_pc();
             }
             Space::Shared => {
                 let mask;
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
-                    mask = w.reconverge().unwrap().mask;
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
+                    mask = w.reconverge().expect("divergence stack entry").mask;
                     for lane in lanes(mask) {
-                        self.scratch_addrs[lane] = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                        self.scratch_addrs[lane] =
+                            Self::opval(w, addr, lane).wrapping_add(offset as u64);
                     }
+                }
+                if let Some((a, fl)) = Self::check_shared_lanes(
+                    &self.scratch_addrs,
+                    mask,
+                    width,
+                    self.slots[slot_idx].smem.len(),
+                ) {
+                    self.trap(
+                        widx,
+                        slot_idx,
+                        FaultKind::SharedMemOverflow,
+                        pc,
+                        fl,
+                        Some(a),
+                        out,
+                    );
+                    return;
                 }
                 let degree = bank_conflict_degree(&self.scratch_addrs, mask) as u64;
                 self.stats.bank_conflict_cycles += degree - 1;
@@ -1030,7 +1433,9 @@ impl SmCore {
                 for lane in lanes(mask) {
                     vals[lane] = Self::bytes_read(&slot.smem, self.scratch_addrs[lane], width);
                 }
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     w.write(dst, lane, vals[lane]);
                 }
@@ -1041,8 +1446,10 @@ impl SmCore {
                 let cfg = self.slots[slot_idx].cfg.clone();
                 let mask;
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
-                    mask = w.reconverge().unwrap().mask;
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
+                    mask = w.reconverge().expect("divergence stack entry").mask;
                     let wic = w.warp_in_cta;
                     for lane in lanes(mask) {
                         let mut a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
@@ -1052,13 +1459,23 @@ impl SmCore {
                         self.scratch_addrs[lane] = a;
                     }
                 }
+                // Guest-fault check on the raw per-lane addresses, before
+                // coalescing and before any functional access.
+                if let Some((k, a, fl)) =
+                    Self::check_lanes(gmem, &self.scratch_addrs, mask, width, false)
+                {
+                    self.trap(widx, slot_idx, k, pc, fl, Some(a), out);
+                    return;
+                }
                 // Functional read.
                 let mut vals = [0u64; WARP_SIZE];
                 for lane in lanes(mask) {
                     vals[lane] = gmem.read(self.scratch_addrs[lane], width);
                 }
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     for lane in lanes(mask) {
                         w.write(dst, lane, vals[lane]);
                     }
@@ -1067,7 +1484,9 @@ impl SmCore {
                 let mut lines = std::mem::take(&mut self.scratch_lines);
                 coalesce_lines(&self.scratch_addrs, mask, width.bytes(), &mut lines);
                 if self.config.perfect_memory {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     w.reg_ready[dst.0 as usize] = now + lat.l1_hit;
                 } else {
                     let tex = space == Space::Tex;
@@ -1078,14 +1497,21 @@ impl SmCore {
                             CacheOutcome::Hit => {}
                             CacheOutcome::MshrMerged => {
                                 misses += 1;
-                                self.waiters.entry((tex, line)).or_default().push((widx, dst));
+                                self.waiters
+                                    .entry((tex, line))
+                                    .or_default()
+                                    .push((widx, dst));
                             }
                             _ => {
                                 misses += 1;
                                 let id = self.next_req_id;
                                 self.next_req_id += 1;
-                                self.outstanding.insert(id, RespRoute::LoadFill { tex, line });
-                                self.waiters.entry((tex, line)).or_default().push((widx, dst));
+                                self.outstanding
+                                    .insert(id, RespRoute::LoadFill { tex, line });
+                                self.waiters
+                                    .entry((tex, line))
+                                    .or_default()
+                                    .push((widx, dst));
                                 out.mem_requests.push(MemRequest {
                                     id,
                                     addr: line * LINE_BYTES,
@@ -1100,7 +1526,9 @@ impl SmCore {
                     // cycle: an uncoalesced access occupies the warp's
                     // issue slot for `lines` cycles even when it hits.
                     let serialize = lines.len().saturating_sub(1) as u64;
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     if misses == 0 {
                         w.reg_ready[dst.0 as usize] = now + lat.l1_hit + serialize;
                     } else {
@@ -1109,7 +1537,9 @@ impl SmCore {
                     w.next_issue_at = w.next_issue_at.max(now + 1 + serialize);
                 }
                 self.scratch_lines = lines;
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.advance_pc();
             }
         }
@@ -1120,6 +1550,7 @@ impl SmCore {
         &mut self,
         widx: usize,
         slot_idx: usize,
+        pc: usize,
         space: Space,
         width: Width,
         src: Operand,
@@ -1134,19 +1565,41 @@ impl SmCore {
         match space {
             Space::Param | Space::Const | Space::Tex => {
                 debug_assert!(false, "store to read-only space {space}");
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.advance_pc();
             }
             Space::Shared => {
                 let mask;
                 let mut vals = [0u64; WARP_SIZE];
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
-                    mask = w.reconverge().unwrap().mask;
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
+                    mask = w.reconverge().expect("divergence stack entry").mask;
                     for lane in lanes(mask) {
-                        self.scratch_addrs[lane] = Self::opval(w, addr, lane).wrapping_add(offset as u64);
+                        self.scratch_addrs[lane] =
+                            Self::opval(w, addr, lane).wrapping_add(offset as u64);
                         vals[lane] = Self::opval(w, src, lane);
                     }
+                }
+                if let Some((a, fl)) = Self::check_shared_lanes(
+                    &self.scratch_addrs,
+                    mask,
+                    width,
+                    self.slots[slot_idx].smem.len(),
+                ) {
+                    self.trap(
+                        widx,
+                        slot_idx,
+                        FaultKind::SharedMemOverflow,
+                        pc,
+                        fl,
+                        Some(a),
+                        out,
+                    );
+                    return;
                 }
                 let degree = bank_conflict_degree(&self.scratch_addrs, mask) as u64;
                 self.stats.bank_conflict_cycles += degree - 1;
@@ -1154,7 +1607,9 @@ impl SmCore {
                 for lane in lanes(mask) {
                     Self::bytes_write(&mut slot.smem, self.scratch_addrs[lane], width, vals[lane]);
                 }
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.next_issue_at = now + 1 + (degree - 1);
                 w.advance_pc();
             }
@@ -1163,8 +1618,10 @@ impl SmCore {
                 let mask;
                 let mut vals = [0u64; WARP_SIZE];
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
-                    mask = w.reconverge().unwrap().mask;
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
+                    mask = w.reconverge().expect("divergence stack entry").mask;
                     let wic = w.warp_in_cta;
                     for lane in lanes(mask) {
                         let mut a = Self::opval(w, addr, lane).wrapping_add(offset as u64);
@@ -1174,6 +1631,12 @@ impl SmCore {
                         self.scratch_addrs[lane] = a;
                         vals[lane] = Self::opval(w, src, lane);
                     }
+                }
+                if let Some((k, a, fl)) =
+                    Self::check_lanes(gmem, &self.scratch_addrs, mask, width, true)
+                {
+                    self.trap(widx, slot_idx, k, pc, fl, Some(a), out);
+                    return;
                 }
                 for lane in lanes(mask) {
                     gmem.write(self.scratch_addrs[lane], width, vals[lane]);
@@ -1204,10 +1667,14 @@ impl SmCore {
                     }
                     let serialize = lines.len().saturating_sub(1) as u64;
                     self.scratch_lines = lines;
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     w.next_issue_at = w.next_issue_at.max(now + 1 + serialize);
                 }
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.advance_pc();
             }
         }
@@ -1218,6 +1685,7 @@ impl SmCore {
         &mut self,
         widx: usize,
         slot_idx: usize,
+        pc: usize,
         op: AtomOp,
         space: Space,
         dst: Reg,
@@ -1234,8 +1702,10 @@ impl SmCore {
         let mut srcs = [0u64; WARP_SIZE];
         let mut cmps = [0u64; WARP_SIZE];
         {
-            let w = self.warps[widx].as_mut().unwrap();
-            mask = w.reconverge().unwrap().mask;
+            let w = self.warps[widx]
+                .as_mut()
+                .expect("scheduled warp is resident");
+            mask = w.reconverge().expect("divergence stack entry").mask;
             for lane in lanes(mask) {
                 addrs[lane] = Self::opval(w, addr, lane);
                 srcs[lane] = Self::opval(w, src, lane);
@@ -1244,6 +1714,23 @@ impl SmCore {
         }
         match space {
             Space::Shared => {
+                if let Some((a, fl)) = Self::check_shared_lanes(
+                    &addrs,
+                    mask,
+                    Width::B64,
+                    self.slots[slot_idx].smem.len(),
+                ) {
+                    self.trap(
+                        widx,
+                        slot_idx,
+                        FaultKind::SharedMemOverflow,
+                        pc,
+                        fl,
+                        Some(a),
+                        out,
+                    );
+                    return;
+                }
                 let slot = &mut self.slots[slot_idx];
                 let mut olds = [0u64; WARP_SIZE];
                 for lane in lanes(mask) {
@@ -1252,7 +1739,9 @@ impl SmCore {
                     Self::bytes_write(&mut slot.smem, addrs[lane], Width::B64, new);
                     olds[lane] = o;
                 }
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 for lane in lanes(mask) {
                     w.write(dst, lane, olds[lane]);
                 }
@@ -1262,32 +1751,47 @@ impl SmCore {
             _ => {
                 // Global atomics execute at the memory partition; lanes are
                 // applied in lane order (deterministic serialization).
+                if let Some((k, a, fl)) = Self::check_lanes(gmem, &addrs, mask, Width::B64, true) {
+                    self.trap(widx, slot_idx, k, pc, fl, Some(a), out);
+                    return;
+                }
                 let mut olds = [0u64; WARP_SIZE];
                 for lane in lanes(mask) {
                     olds[lane] = gmem.atom(op, addrs[lane], srcs[lane], cmps[lane]);
                 }
                 {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     for lane in lanes(mask) {
                         w.write(dst, lane, olds[lane]);
                     }
                 }
                 if self.config.perfect_memory {
-                    let w = self.warps[widx].as_mut().unwrap();
+                    let w = self.warps[widx]
+                        .as_mut()
+                        .expect("scheduled warp is resident");
                     w.reg_ready[dst.0 as usize] = now + lat.l1_hit;
                 } else {
                     // One round-trip per distinct line.
                     let mut lines = std::mem::take(&mut self.scratch_lines);
                     coalesce_lines(&addrs, mask, 8, &mut lines);
                     {
-                        let w = self.warps[widx].as_mut().unwrap();
+                        let w = self.warps[widx]
+                            .as_mut()
+                            .expect("scheduled warp is resident");
                         w.reg_pending[dst.0 as usize] += lines.len() as u16;
                     }
                     for &line in &lines {
                         let id = self.next_req_id;
                         self.next_req_id += 1;
-                        self.outstanding
-                            .insert(id, RespRoute::Atomic { warp: widx, reg: dst });
+                        self.outstanding.insert(
+                            id,
+                            RespRoute::Atomic {
+                                warp: widx,
+                                reg: dst,
+                            },
+                        );
                         out.mem_requests.push(MemRequest {
                             id,
                             addr: line * LINE_BYTES,
@@ -1298,7 +1802,9 @@ impl SmCore {
                     }
                     self.scratch_lines = lines;
                 }
-                let w = self.warps[widx].as_mut().unwrap();
+                let w = self.warps[widx]
+                    .as_mut()
+                    .expect("scheduled warp is resident");
                 w.advance_pc();
             }
         }

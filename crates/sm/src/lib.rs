@@ -19,6 +19,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod coalesce;
 mod config;
@@ -28,11 +29,105 @@ mod warp;
 
 pub use crate::core::{
     CompletedCta, CtaConfig, DeviceLaunch, GlobalMem, MemRequest, ReqKind, SmCore, TickOutput,
+    Trap, WarpReport, WarpWait,
 };
 pub use coalesce::{bank_conflict_degree, coalesce_lines, SMEM_BANKS};
 pub use config::{LatencyConfig, SchedPolicy, SmConfig};
 pub use stats::{SmStats, StallBreakdown, StallReason};
 pub use warp::{lane_mask, lanes, SimtEntry, WaitKind, Warp, WarpBlock, FULL_MASK, NO_RECONV};
+
+/// Why [`run_standalone`] could not run the resident work to completion.
+#[derive(Debug, Clone)]
+pub struct HangDiagnostic {
+    /// Cycles executed before giving up.
+    pub cycles: u64,
+    /// Guest faults raised (empty for a pure hang).
+    pub traps: Vec<Trap>,
+    /// Blocked-state of every warp still resident at the end.
+    pub warps: Vec<WarpReport>,
+    /// Memory requests still outstanding to the (caller-modelled) memory
+    /// system.
+    pub outstanding: usize,
+}
+
+impl std::fmt::Display for HangDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.traps.is_empty() {
+            writeln!(f, "SM made no progress for {} cycles", self.cycles)?;
+        } else {
+            writeln!(f, "SM trapped after {} cycles:", self.cycles)?;
+            for t in &self.traps {
+                writeln!(
+                    f,
+                    "  {} at pc {} ({}), warp {} lanes {:#010x}{}",
+                    t.kind,
+                    t.pc,
+                    t.instr,
+                    t.warp,
+                    t.lane_mask,
+                    t.addr.map_or(String::new(), |a| format!(", addr {a:#x}")),
+                )?;
+            }
+        }
+        writeln!(f, "{} memory requests outstanding", self.outstanding)?;
+        for w in &self.warps {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for HangDiagnostic {}
+
+/// Drive a standalone SM (no interconnect/L2/DRAM behind it) until all
+/// resident work completes, answering every off-chip read one cycle after
+/// it is issued.
+///
+/// Returns the completion cycle and any CDP child launches the kernels
+/// emitted. Intended for unit tests and micro-experiments on a single SM;
+/// the full memory system lives in `ggpu-sim`.
+///
+/// # Errors
+///
+/// Returns a [`HangDiagnostic`] when a warp raises a guest fault, or when
+/// the SM is still busy after `max_cycles` (e.g. a CTA waiting forever in
+/// `Dsync` for a child grid nobody will run).
+pub fn run_standalone(
+    sm: &mut SmCore,
+    mem: &mut dyn GlobalMem,
+    max_cycles: u64,
+) -> Result<(u64, Vec<DeviceLaunch>), HangDiagnostic> {
+    let mut launches = Vec::new();
+    let mut traps = Vec::new();
+    for now in 0..max_cycles {
+        let mut out = TickOutput::default();
+        sm.tick(now, mem, false, &mut out);
+        for req in out.mem_requests {
+            if req.kind != ReqKind::Store {
+                sm.mem_response(req.id, now + 1);
+            }
+        }
+        launches.extend(out.launches);
+        traps.extend(out.traps);
+        if !traps.is_empty() {
+            return Err(HangDiagnostic {
+                cycles: now,
+                traps,
+                warps: sm.warp_report(0),
+                outstanding: sm.outstanding_requests(),
+            });
+        }
+        if sm.is_idle() {
+            return Ok((now, launches));
+        }
+    }
+    Err(HangDiagnostic {
+        cycles: max_cycles,
+        traps,
+        warps: sm.warp_report(0),
+        outstanding: sm.outstanding_requests(),
+    })
+}
 
 #[cfg(test)]
 mod tests {
@@ -76,21 +171,10 @@ mod tests {
         mem: &mut TestMem,
         max_cycles: u64,
     ) -> (u64, Vec<DeviceLaunch>) {
-        let mut launches = Vec::new();
-        for now in 0..max_cycles {
-            let mut out = TickOutput::default();
-            sm.tick(now, mem, false, &mut out);
-            for req in out.mem_requests {
-                if req.kind != ReqKind::Store {
-                    sm.mem_response(req.id, now + 1);
-                }
-            }
-            launches.extend(out.launches);
-            if sm.is_idle() {
-                return (now, launches);
-            }
+        match run_standalone(sm, mem, max_cycles) {
+            Ok(r) => r,
+            Err(d) => panic!("kernel did not finish within {max_cycles} cycles:\n{d}"),
         }
-        panic!("kernel did not finish within {max_cycles} cycles");
     }
 
     fn cta_cfg(program: &Program, dims: LaunchDims, params: Vec<u64>) -> CtaConfig {
@@ -284,7 +368,12 @@ mod tests {
         b.bar();
         let other = b.reg();
         b.iadd(other, tid, Operand::imm(32));
-        b.alu(ggpu_isa::AluOp::IRem, other, Operand::reg(other), Operand::imm(64));
+        b.alu(
+            ggpu_isa::AluOp::IRem,
+            other,
+            Operand::reg(other),
+            Operand::imm(64),
+        );
         let oa = b.reg();
         b.imul(oa, other, Operand::imm(8));
         b.iadd(oa, oa, Operand::imm(off as i64));
@@ -615,6 +704,193 @@ mod tests {
         let mut mem = TestMem::default();
         run_to_completion(&mut sm, &mut mem, 10_000);
         assert_eq!(mem.read(0x6000, Width::B64), 7);
+    }
+
+    /// TestMem wrapper that rejects out-of-bounds / misaligned accesses the
+    /// way the device memory in `ggpu-sim` does.
+    #[derive(Default)]
+    struct BoundedMem {
+        inner: TestMem,
+        limit: u64,
+    }
+
+    impl GlobalMem for BoundedMem {
+        fn read(&mut self, addr: u64, width: Width) -> u64 {
+            self.inner.read(addr, width)
+        }
+        fn write(&mut self, addr: u64, width: Width, value: u64) {
+            self.inner.write(addr, width, value);
+        }
+        fn atom(&mut self, op: AtomOp, addr: u64, src: u64, cas: u64) -> u64 {
+            self.inner.atom(op, addr, src, cas)
+        }
+        fn check(&self, addr: u64, width: Width, _store: bool) -> Option<ggpu_isa::FaultKind> {
+            if !addr.is_multiple_of(width.bytes()) {
+                Some(ggpu_isa::FaultKind::MisalignedAccess)
+            } else if addr + width.bytes() > self.limit {
+                Some(ggpu_isa::FaultKind::IllegalAddress)
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn oob_global_store_traps_with_context() {
+        let program = Arc::new(simple_program());
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x1000]));
+        // Only the first 16 threads' stores fit below the limit.
+        let mut mem = BoundedMem {
+            limit: 0x1000 + 16 * 8,
+            ..BoundedMem::default()
+        };
+        let err =
+            run_standalone(&mut sm, &mut mem, 10_000).expect_err("out-of-bounds store must trap");
+        // Both warps of the CTA hit the bound in the same cycle (they sit
+        // on different schedulers); the first report is warp 0's.
+        assert!(!err.traps.is_empty());
+        let t = &err.traps[0];
+        assert_eq!(t.kind, ggpu_isa::FaultKind::IllegalAddress);
+        assert!(t.instr.contains("st.global"), "instr: {}", t.instr);
+        assert_eq!(t.addr, Some(0x1000 + 16 * 8));
+        assert_ne!(t.lane_mask, 0);
+        // Faulting lanes are exactly threads 16.. of the first warp.
+        assert_eq!(t.lane_mask, 0xFFFF_0000);
+        // No partial write happened on the faulting warp.
+        assert_eq!(mem.read(0x1000 + 31 * 8, Width::B64), 0);
+        // The report names the trapped warp.
+        assert!(err
+            .warps
+            .iter()
+            .any(|w| matches!(w.wait, WarpWait::Trapped)));
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let mut b = KernelBuilder::new("misaligned");
+        let base = b.reg();
+        b.ld_param(base, 0);
+        let v = b.reg();
+        b.ld(Space::Global, Width::B64, v, base, 3);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 1), vec![0x1000]));
+        let mut mem = BoundedMem {
+            limit: 1 << 20,
+            ..BoundedMem::default()
+        };
+        let err = run_standalone(&mut sm, &mut mem, 10_000).expect_err("must trap");
+        assert_eq!(err.traps[0].kind, ggpu_isa::FaultKind::MisalignedAccess);
+        assert_eq!(err.traps[0].addr, Some(0x1003));
+    }
+
+    #[test]
+    fn pc_past_stream_end_traps_invalid_pc() {
+        // Hand-built instruction stream with no terminating Exit on the
+        // executed path (Kernel::validate would reject it; the SM must trap
+        // rather than panic).
+        let k = ggpu_isa::Kernel {
+            name: "runaway".into(),
+            instrs: vec![ggpu_isa::Instr::Mov {
+                dst: ggpu_isa::Reg(0),
+                src: Operand::imm(7),
+            }],
+            regs_per_thread: 1,
+            smem_per_cta: 0,
+            cmem_bytes: 0,
+            local_bytes_per_thread: 0,
+        };
+        let mut p = Program::new();
+        p.add(k);
+        let program = Arc::new(p);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
+        let mut mem = TestMem::default();
+        let err = run_standalone(&mut sm, &mut mem, 1_000).expect_err("must trap");
+        assert_eq!(err.traps[0].kind, ggpu_isa::FaultKind::InvalidPc);
+        assert_eq!(err.traps[0].pc, 1);
+    }
+
+    #[test]
+    fn shared_overflow_traps() {
+        let mut b = KernelBuilder::new("smem_oob");
+        let off = b.alloc_smem(16);
+        let tid = b.global_tid();
+        let sa = b.reg();
+        b.imul(sa, tid, Operand::imm(8));
+        b.iadd(sa, sa, Operand::imm(off as i64));
+        b.st(Space::Shared, Width::B64, Operand::reg(tid), sa, 0);
+        b.exit();
+        let mut p = Program::new();
+        p.add(b.finish());
+        let program = Arc::new(p);
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
+        let mut mem = TestMem::default();
+        let err = run_standalone(&mut sm, &mut mem, 1_000).expect_err("must trap");
+        assert_eq!(err.traps[0].kind, ggpu_isa::FaultKind::SharedMemOverflow);
+        // Lanes 0 and 1 fit in the 16-byte allocation; the rest fault.
+        assert_eq!(err.traps[0].lane_mask, !0b11);
+    }
+
+    #[test]
+    fn divergent_barrier_traps_when_enabled() {
+        let build = |trap: bool| {
+            let mut b = KernelBuilder::new("divbar");
+            let tid = b.global_tid();
+            let p = b.cmp_s(CmpOp::Lt, Operand::reg(tid), Operand::imm(16));
+            b.if_then(p, |b| {
+                b.bar();
+            });
+            b.bar();
+            b.exit();
+            let mut prog = Program::new();
+            prog.add(b.finish());
+            let program = Arc::new(prog);
+            let cfg = SmConfig {
+                trap_divergent_barrier: trap,
+                ..SmConfig::default()
+            };
+            let mut sm = SmCore::new(cfg, Arc::clone(&program));
+            sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
+            let mut mem = TestMem::default();
+            run_standalone(&mut sm, &mut mem, 10_000)
+        };
+        // Single-warp CTA: the lenient per-warp barrier account lets the
+        // divergent barrier pass when trapping is off...
+        assert!(build(false).is_ok());
+        // ...and the strict mode reports the bug deterministically.
+        let err = build(true).expect_err("divergent barrier must trap");
+        assert_eq!(err.traps[0].kind, ggpu_isa::FaultKind::BarrierDivergence);
+        assert!(err.traps[0].instr.contains("bar"));
+    }
+
+    #[test]
+    fn abort_workload_returns_sm_to_clean_idle() {
+        let program = Arc::new(simple_program());
+        let mut sm = SmCore::new(SmConfig::default(), Arc::clone(&program));
+        sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x1000]));
+        let mut mem = TestMem::default();
+        // Run a few cycles so requests are in flight, then abort.
+        for now in 0..10 {
+            let mut out = TickOutput::default();
+            sm.tick(now, &mut mem, false, &mut out);
+        }
+        assert!(!sm.is_idle());
+        sm.abort_workload();
+        assert!(sm.is_idle());
+        assert_eq!(sm.outstanding_requests(), 0);
+        assert_eq!(sm.resident_ctas(), 0);
+        // The SM accepts and completes fresh work afterwards.
+        assert!(sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x1000])));
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        for tid in 0..64u64 {
+            assert_eq!(mem.read(0x1000 + tid * 8, Width::B64), tid * 3, "tid {tid}");
+        }
     }
 
     #[test]

@@ -259,11 +259,15 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SmStats::default();
-        a.cycles = 100;
+        let mut a = SmStats {
+            cycles: 100,
+            ..SmStats::default()
+        };
         a.record_issue(InstrClass::Int, 32);
-        let mut b = SmStats::default();
-        b.cycles = 150;
+        let mut b = SmStats {
+            cycles: 150,
+            ..SmStats::default()
+        };
         b.record_issue(InstrClass::Fp, 32);
         b.stalls.add(StallReason::MemLatency, 10);
         a.merge(&b);

@@ -30,6 +30,8 @@ pub enum WarpBlock {
     Barrier,
     /// Waiting for child kernels (`cudaDeviceSynchronize`).
     Dsync,
+    /// Raised a guest fault; permanently parked until the device resets.
+    Trapped,
 }
 
 /// Why a warp most recently could not issue (for stall classification).
@@ -76,7 +78,13 @@ pub struct Warp {
 
 impl Warp {
     /// Create a warp starting at PC 0 with `active` initial lanes.
-    pub fn new(regs_per_thread: u32, active: u32, cta_slot: usize, warp_in_cta: u32, age: u64) -> Self {
+    pub fn new(
+        regs_per_thread: u32,
+        active: u32,
+        cta_slot: usize,
+        warp_in_cta: u32,
+        age: u64,
+    ) -> Self {
         let n = regs_per_thread.max(1) as usize;
         Warp {
             stack: vec![SimtEntry {
@@ -141,10 +149,7 @@ impl Warp {
     /// entry becomes the reconvergence continuation and both paths are
     /// pushed (taken executes first).
     pub fn branch(&mut self, taken: u32, target: usize, fallthrough: usize, reconv: usize) {
-        let top = self
-            .stack
-            .last_mut()
-            .expect("branch on empty SIMT stack");
+        let top = self.stack.last_mut().expect("branch on empty SIMT stack");
         let mask = top.mask;
         let taken = taken & mask;
         let not_taken = mask & !taken;

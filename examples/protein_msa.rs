@@ -26,7 +26,10 @@ fn main() {
         .filter(|r| r.id.starts_with("family1"))
         .map(|r| r.seq.clone())
         .collect();
-    let gaps = GapModel::Affine { open: 11, extend: 1 }; // protein defaults
+    let gaps = GapModel::Affine {
+        open: 11,
+        extend: 1,
+    }; // protein defaults
     let msa = center_star(&family, &Blosum62, gaps);
     println!(
         "\ncenter-star MSA of family1 ({} rows x {} columns, center = record {}):",

@@ -26,8 +26,14 @@ fn main() {
     println!("IPC:                {:.3}", result.stats.ipc());
     println!("kernel launches:    {}", result.stats.host.kernel_launches);
     println!("PCI transactions:   {}", result.stats.host.pci_count);
-    println!("L1 miss rate:       {:.1}%", result.stats.l1.miss_rate() * 100.0);
-    println!("L2 miss rate:       {:.1}%", result.stats.l2.miss_rate() * 100.0);
+    println!(
+        "L1 miss rate:       {:.1}%",
+        result.stats.l1.miss_rate() * 100.0
+    );
+    println!(
+        "L2 miss rate:       {:.1}%",
+        result.stats.l2.miss_rate() * 100.0
+    );
     println!(
         "DRAM efficiency:    {:.1}%",
         result.stats.dram.efficiency() * 100.0

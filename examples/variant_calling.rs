@@ -65,7 +65,11 @@ fn main() {
     let c = pileup.counts(snp_pos);
     println!(
         "pileup at locus {snp_pos}: A={} C={} G={} T={} (depth {})",
-        c[0], c[1], c[2], c[3], pileup.depth(snp_pos)
+        c[0],
+        c[1],
+        c[2],
+        c[3],
+        pileup.depth(snp_pos)
     );
 
     // Pileup-based variant calling across the genome.

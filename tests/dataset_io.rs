@@ -16,7 +16,14 @@ fn mini_proteins_parse_and_align() {
         .filter(|r| r.id.starts_with("family1"))
         .map(|r| r.seq.clone())
         .collect();
-    let msa = center_star(&family, &Blosum62, GapModel::Affine { open: 11, extend: 1 });
+    let msa = center_star(
+        &family,
+        &Blosum62,
+        GapModel::Affine {
+            open: 11,
+            extend: 1,
+        },
+    );
     assert_eq!(msa.rows.len(), 3);
     assert!(msa.sp_score(&Blosum62, 5) > 0);
 }
@@ -56,7 +63,10 @@ fn mini_reads_map_onto_mini_genome() {
     );
     let mut mapped = 0;
     for r in &reads {
-        let seq: DnaSeq = std::str::from_utf8(&r.seq).expect("ascii").parse().expect("ACGT");
+        let seq: DnaSeq = std::str::from_utf8(&r.seq)
+            .expect("ascii")
+            .parse()
+            .expect("ACGT");
         if let Some(hit) = mapper.map(&seq) {
             mapped += 1;
             assert!(hit.alignment.score > 0);

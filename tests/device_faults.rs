@@ -1,0 +1,314 @@
+//! Device fault-model tests: guest-fault traps with context, sticky-fault
+//! semantics and recovery, the forward-progress watchdog, and the
+//! deterministic fault-injection plan.
+
+use ggpu_isa::{
+    CmpOp, FaultKind, KernelBuilder, KernelId, LaunchDims, Operand, Program, Space, Width,
+};
+use ggpu_sim::{FaultPlan, Gpu, GpuConfig, LaunchProblem, SimError, WarpWait};
+
+/// Kernel: store one u64 at `param[0] + offset` from a single thread.
+fn store_at(offset: i64) -> Program {
+    let mut b = KernelBuilder::new("poke");
+    let out = b.reg();
+    b.ld_param(out, 0);
+    b.st(Space::Global, Width::B64, Operand::imm(7), out, offset);
+    b.exit();
+    let mut p = Program::new();
+    p.add(b.finish());
+    p
+}
+
+/// Kernel: out[tid] = tid (a well-behaved workload for recovery checks).
+fn write_tids() -> Program {
+    let mut b = KernelBuilder::new("write_tids");
+    let tid = b.global_tid();
+    let out = b.reg();
+    b.ld_param(out, 0);
+    let oa = b.reg();
+    b.imul(oa, tid, Operand::imm(8));
+    b.iadd(oa, oa, Operand::reg(out));
+    b.st(Space::Global, Width::B64, Operand::reg(tid), oa, 0);
+    b.exit();
+    let mut p = Program::new();
+    p.add(b.finish());
+    p
+}
+
+#[test]
+fn oob_store_traps_with_context_and_is_sticky() {
+    // One thread stores 1 MiB past its 256-byte allocation.
+    let mut gpu = Gpu::new(store_at(1 << 20), GpuConfig::test_small());
+    let buf = gpu.malloc(256);
+    let err = gpu
+        .try_run_kernel(KernelId(0), LaunchDims::linear(1, 1), &[buf.0])
+        .expect_err("out-of-bounds store must fault");
+    let fault = match &err {
+        SimError::DeviceFault(f) => f,
+        other => panic!("expected DeviceFault, got {other}"),
+    };
+    assert_eq!(fault.kind, FaultKind::IllegalAddress);
+    assert_eq!(fault.kernel, "poke");
+    assert_eq!(fault.addr, Some(buf.0 + (1 << 20)));
+    assert!(fault.pc.is_some(), "fault must carry the faulting PC");
+    assert!(fault.lane_mask.is_some(), "fault must carry the lane mask");
+    assert!(!fault.instr.is_empty(), "fault must carry the instruction");
+    let msg = err.to_string();
+    assert!(msg.contains("illegal address"), "{msg}");
+    assert!(msg.contains("poke"), "{msg}");
+
+    // Sticky: every device-touching call returns the same error until reset.
+    assert_eq!(gpu.try_synchronize().unwrap_err(), err);
+    assert_eq!(gpu.try_malloc(8).unwrap_err(), err);
+    assert_eq!(gpu.try_memcpy_h2d(buf, &[0u8; 8]).unwrap_err(), err);
+    assert_eq!(
+        gpu.try_launch(KernelId(0), LaunchDims::linear(1, 1), &[buf.0])
+            .unwrap_err(),
+        err
+    );
+    assert_eq!(gpu.fault(), Some(&err));
+}
+
+#[test]
+fn misaligned_access_traps() {
+    // The store lands at buf+1, which is not naturally aligned for B64.
+    let mut gpu = Gpu::new(store_at(1), GpuConfig::test_small());
+    let buf = gpu.malloc(256);
+    let err = gpu
+        .try_run_kernel(KernelId(0), LaunchDims::linear(1, 1), &[buf.0])
+        .expect_err("misaligned store must fault");
+    match err {
+        SimError::DeviceFault(f) => {
+            assert_eq!(f.kind, FaultKind::MisalignedAccess);
+            assert_eq!(f.addr, Some(buf.0 + 1));
+        }
+        other => panic!("expected DeviceFault, got {other}"),
+    }
+}
+
+#[test]
+fn device_recovers_after_reset_fault() {
+    let mut program = store_at(1 << 20);
+    let good = program.add({
+        let mut b = KernelBuilder::new("write_tids");
+        let tid = b.global_tid();
+        let out = b.reg();
+        b.ld_param(out, 0);
+        let oa = b.reg();
+        b.imul(oa, tid, Operand::imm(8));
+        b.iadd(oa, oa, Operand::reg(out));
+        b.st(Space::Global, Width::B64, Operand::reg(tid), oa, 0);
+        b.exit();
+        b.finish()
+    });
+    let mut gpu = Gpu::new(program, GpuConfig::test_small());
+    let buf = gpu.malloc(64 * 8);
+    gpu.try_run_kernel(KernelId(0), LaunchDims::linear(1, 1), &[buf.0])
+        .expect_err("first kernel faults");
+
+    let taken = gpu.reset_fault().expect("fault state was set");
+    assert!(matches!(taken, SimError::DeviceFault(_)));
+    assert!(gpu.fault().is_none());
+    assert!(!gpu.busy(), "halted device must be idle after reset");
+
+    // The same Gpu instance runs a well-behaved kernel to completion.
+    let cycles = gpu
+        .try_run_kernel(good, LaunchDims::linear(2, 32), &[buf.0])
+        .expect("device usable after reset_fault");
+    assert!(cycles > 0);
+    for i in 0..64u64 {
+        assert_eq!(gpu.memory().read_u64(buf.offset(i * 8)), i);
+    }
+}
+
+#[test]
+fn dropped_reply_trips_watchdog_with_blocked_warp_report() {
+    // Inject loss of the first memory reply: the loading warp waits forever
+    // and the forward-progress watchdog must convert the hang into a typed
+    // deadlock report instead of spinning to the 2e9-cycle backstop.
+    let mut b = KernelBuilder::new("loader");
+    let src = b.reg();
+    b.ld_param(src, 0);
+    let v = b.reg();
+    b.ld(Space::Global, Width::B64, v, src, 0);
+    b.st(Space::Global, Width::B64, Operand::reg(v), src, 8);
+    b.exit();
+    let mut p = Program::new();
+    let kid = p.add(b.finish());
+
+    let mut config = GpuConfig::test_small();
+    config.watchdog_cycles = 2_000;
+    config.fault_plan = FaultPlan {
+        drop_reply: Some(0),
+        ..FaultPlan::default()
+    };
+    let mut gpu = Gpu::new(p, config);
+    let buf = gpu.malloc(256);
+    let err = gpu
+        .try_run_kernel(kid, LaunchDims::linear(1, 1), &[buf.0])
+        .expect_err("lost reply must deadlock");
+    let report = match &err {
+        SimError::Deadlock(r) => r,
+        other => panic!("expected Deadlock, got {other}"),
+    };
+    assert!(report.stalled_for >= 2_000);
+    assert!(
+        report.outstanding_requests >= 1,
+        "the dropped reply's request is still outstanding: {report:?}"
+    );
+    assert!(
+        report
+            .warps
+            .iter()
+            .any(|w| matches!(w.wait, WarpWait::Memory { .. })),
+        "report must show the warp blocked on memory: {report:?}"
+    );
+    assert!(err.to_string().contains("no forward progress"), "{err}");
+
+    // Deadlock is sticky like a guest fault, and clears the same way.
+    assert!(gpu.try_synchronize().is_err());
+    gpu.reset_fault().expect("deadlock was sticky");
+    assert!(!gpu.busy());
+}
+
+#[test]
+fn poison_injection_faults_access_inside_live_allocation() {
+    // Poison a 64-byte window that the first allocation will cover; the
+    // kernel's store into it faults even though the address was malloc'd.
+    let mut config = GpuConfig::test_small();
+    config.fault_plan.poison = Some((4096 + 64, 4096 + 128));
+    let mut gpu = Gpu::new(store_at(64), config);
+    let buf = gpu.malloc(256);
+    assert_eq!(buf.0, 4096, "first allocation starts at the base address");
+    let err = gpu
+        .try_run_kernel(KernelId(0), LaunchDims::linear(1, 1), &[buf.0])
+        .expect_err("store into poisoned range must fault");
+    match err {
+        SimError::DeviceFault(f) => {
+            assert_eq!(f.kind, FaultKind::IllegalAddress);
+            assert_eq!(f.addr, Some(buf.0 + 64));
+        }
+        other => panic!("expected DeviceFault, got {other}"),
+    }
+}
+
+#[test]
+fn oom_is_reported_and_not_sticky() {
+    let mut config = GpuConfig::test_small();
+    config.memory_limit = 4096;
+    let mut gpu = Gpu::new(write_tids(), config);
+    let err = gpu.try_malloc(8192).expect_err("over-limit malloc fails");
+    match err {
+        SimError::OutOfMemory {
+            requested,
+            in_use,
+            limit,
+        } => {
+            assert_eq!(requested, 8192);
+            assert_eq!(in_use, 0);
+            assert_eq!(limit, 4096);
+        }
+        other => panic!("expected OutOfMemory, got {other}"),
+    }
+    // As in CUDA, allocation failure does not poison the device.
+    assert!(gpu.fault().is_none());
+    let buf = gpu.try_malloc(1024).expect("smaller allocation still fits");
+    gpu.try_run_kernel(KernelId(0), LaunchDims::linear(1, 32), &[buf.0])
+        .expect("device fully usable after an OOM");
+}
+
+#[test]
+fn invalid_launch_configs_are_rejected_before_enqueue() {
+    let mut gpu = Gpu::new(write_tids(), GpuConfig::test_small());
+    let buf = gpu.malloc(1024);
+
+    let unknown = gpu
+        .try_launch(KernelId(9), LaunchDims::linear(1, 32), &[buf.0])
+        .unwrap_err();
+    assert!(matches!(
+        unknown,
+        SimError::InvalidLaunch {
+            problem: LaunchProblem::UnknownKernel,
+            ..
+        }
+    ));
+
+    let zero = gpu
+        .try_launch(KernelId(0), LaunchDims::linear(0, 32), &[buf.0])
+        .unwrap_err();
+    assert!(matches!(
+        zero,
+        SimError::InvalidLaunch {
+            problem: LaunchProblem::ZeroDimension,
+            ..
+        }
+    ));
+
+    let wide = gpu
+        .try_launch(KernelId(0), LaunchDims::linear(1, 4096), &[buf.0])
+        .unwrap_err();
+    assert!(matches!(
+        wide,
+        SimError::InvalidLaunch {
+            problem: LaunchProblem::TooManyThreads { limit: 1536, .. },
+            ..
+        }
+    ));
+
+    let missing = gpu
+        .try_launch(KernelId(0), LaunchDims::linear(1, 32), &[])
+        .unwrap_err();
+    assert!(matches!(
+        missing,
+        SimError::InvalidLaunch {
+            problem: LaunchProblem::ParamCountMismatch { provided: 0, .. },
+            ..
+        }
+    ));
+
+    // Rejected launches enqueue nothing and leave the device healthy.
+    assert!(gpu.fault().is_none());
+    assert!(!gpu.busy());
+    gpu.try_run_kernel(KernelId(0), LaunchDims::linear(1, 32), &[buf.0])
+        .expect("valid launch still works");
+}
+
+#[test]
+fn cdp_queue_overflow_injection_faults_parent_launch() {
+    // Parent thread 0 launches a child; the plan reports the pending-launch
+    // queue as full from cycle 0, so the device launch must trap.
+    let mut p = Program::new();
+    let mut pb = KernelBuilder::new("parent");
+    let tid = pb.global_tid();
+    let z = pb.cmp_s(CmpOp::Eq, Operand::reg(tid), Operand::imm(0));
+    pb.if_then(z, |b| {
+        let out = b.reg();
+        b.ld_param(out, 0);
+        b.launch(1, Operand::imm(1), Operand::imm(32), Operand::reg(out), 1);
+        b.dsync();
+    });
+    pb.exit();
+    p.add(pb.finish());
+    let mut cb = KernelBuilder::new("child");
+    let out = cb.reg();
+    cb.ld_param(out, 0);
+    cb.st(Space::Global, Width::B64, Operand::imm(1), out, 0);
+    cb.exit();
+    p.add(cb.finish());
+
+    let mut config = GpuConfig::test_small();
+    config.fault_plan.cdp_full_at = Some(0);
+    let mut gpu = Gpu::new(p, config);
+    let buf = gpu.malloc(64);
+    let err = gpu
+        .try_run_kernel(KernelId(0), LaunchDims::linear(1, 32), &[buf.0])
+        .expect_err("forced-full CDP queue must fault the launch");
+    match err {
+        SimError::DeviceFault(f) => {
+            assert_eq!(f.kind, FaultKind::CdpQueueOverflow);
+            assert_eq!(f.kernel, "parent");
+            assert!(f.instr.contains("launch"), "{}", f.instr);
+        }
+        other => panic!("expected DeviceFault, got {other}"),
+    }
+}

@@ -63,7 +63,13 @@ fn cdp_children_inherit_their_kernels_constants() {
         let out = b.reg();
         b.ld_param(out, 0);
         b.st(Space::Global, Width::B64, Operand::reg(out), pblock, 0);
-        b.launch(1, Operand::imm(1), Operand::imm(16), Operand::reg(pblock), 1);
+        b.launch(
+            1,
+            Operand::imm(1),
+            Operand::imm(16),
+            Operand::reg(pblock),
+            1,
+        );
         b.dsync();
     });
     pb.exit();
@@ -113,16 +119,19 @@ fn many_small_grids_complete_in_order() {
     b.ld_param(out, 0);
     let k = b.reg();
     b.ld_param(k, 1);
-    // out[k] = (k == 0) ? 1 : out[k-1] + 1
-    let prev = b.reg();
+    // out[k] = (k == 0) ? 1 : out[k-1] + 1; the k > 0 load is branched
+    // around so grid 0 never touches out[-1] (which would trap).
     let pa = b.reg();
     b.imul(pa, k, Operand::imm(8));
     b.iadd(pa, pa, Operand::reg(out));
-    b.ld(Space::Global, Width::B64, prev, pa, -8);
-    let is0 = b.cmp_s(CmpOp::Eq, Operand::reg(k), Operand::imm(0));
     let v = b.reg();
-    b.iadd(v, prev, Operand::imm(1));
-    b.sel(v, is0, Operand::imm(1), Operand::reg(v));
+    b.mov(v, Operand::imm(1));
+    let nz = b.cmp_s(CmpOp::Ne, Operand::reg(k), Operand::imm(0));
+    b.if_then(nz, |b| {
+        let prev = b.reg();
+        b.ld(Space::Global, Width::B64, prev, pa, -8);
+        b.iadd(v, prev, Operand::imm(1));
+    });
     b.st(Space::Global, Width::B64, Operand::reg(v), pa, 0);
     b.exit();
     let mut p = Program::new();

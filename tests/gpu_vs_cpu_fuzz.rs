@@ -17,13 +17,7 @@ const GAPS: GapModel = GapModel::Affine { open: 5, extend: 2 };
 const MAX_LEN: u32 = 16;
 
 /// Run `n_pairs` random pairs through the DP kernel under `mode`.
-fn gpu_scores(
-    mode: DpMode,
-    rows_in_smem: bool,
-    q: &[u8],
-    t: &[u8],
-    lens: &[u32],
-) -> Vec<i64> {
+fn gpu_scores(mode: DpMode, rows_in_smem: bool, q: &[u8], t: &[u8], lens: &[u32]) -> Vec<i64> {
     let n = lens.len();
     let cfg = DpKernelCfg {
         mode,
@@ -52,11 +46,7 @@ fn gpu_scores(
     let len_bytes: Vec<u8> = lens.iter().flat_map(|l| l.to_le_bytes()).collect();
     gpu.memcpy_h2d(lb, &len_bytes);
     let dims = LaunchDims::linear(1, 32);
-    gpu.run_kernel(
-        k,
-        dims,
-        &[qb.0, tb.0, ob.0, n as u64, 0, 32, lb.0, 0, 0],
-    );
+    gpu.run_kernel(k, dims, &[qb.0, tb.0, ob.0, n as u64, 0, 32, lb.0, 0, 0]);
     gpu.memcpy_d2h(ob, n * 8)
         .chunks_exact(8)
         .map(|c| i64::from_le_bytes(c.try_into().expect("8B")))
@@ -74,7 +64,10 @@ fn cpu_score(mode: DpMode, q: &[u8], t: &[u8]) -> i64 {
 
 fn workload() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<u32>)> {
     prop::collection::vec(
-        (1u32..=MAX_LEN, prop::collection::vec(0u8..4, 2 * MAX_LEN as usize)),
+        (
+            1u32..=MAX_LEN,
+            prop::collection::vec(0u8..4, 2 * MAX_LEN as usize),
+        ),
         1..6,
     )
     .prop_map(|pairs| {
@@ -84,8 +77,7 @@ fn workload() -> impl Strategy<Value = (Vec<u8>, Vec<u8>, Vec<u32>)> {
         let mut lens = Vec::with_capacity(n);
         for (p, (len, bases)) in pairs.into_iter().enumerate() {
             let len = len as usize;
-            q[p * MAX_LEN as usize..p * MAX_LEN as usize + len]
-                .copy_from_slice(&bases[..len]);
+            q[p * MAX_LEN as usize..p * MAX_LEN as usize + len].copy_from_slice(&bases[..len]);
             t[p * MAX_LEN as usize..p * MAX_LEN as usize + len]
                 .copy_from_slice(&bases[MAX_LEN as usize..MAX_LEN as usize + len]);
             lens.push(len as u32);

@@ -60,7 +60,14 @@ fn dp_kernels_validate_in_every_mode() {
 fn dp_kernel_disassembles_with_expected_mnemonics() {
     let k = build_dp_kernel("t", &dp_cfg(DpMode::Global));
     let d = k.disassemble();
-    for needle in ["ld.param", "ld.const", "ld.global", "st.local", "bra", "exit"] {
+    for needle in [
+        "ld.param",
+        "ld.const",
+        "ld.global",
+        "st.local",
+        "bra",
+        "exit",
+    ] {
         assert!(d.contains(needle), "missing `{needle}` in:\n{d}");
     }
 }
@@ -74,7 +81,10 @@ fn smem_variant_declares_shared_memory() {
     assert!(k.disassemble().contains("ld.shared"));
     let k2 = build_dp_kernel("t", &dp_cfg(DpMode::Global));
     assert_eq!(k2.smem_per_cta, 0);
-    assert_eq!(k2.local_bytes_per_thread, dp_cfg(DpMode::Global).row_bytes());
+    assert_eq!(
+        k2.local_bytes_per_thread,
+        dp_cfg(DpMode::Global).row_bytes()
+    );
 }
 
 #[test]

@@ -129,7 +129,10 @@ fn memory_space_mix_matches_paper() {
             .iter()
             .map(|&s| r.stats.sm.space_count(s))
             .sum();
-        assert!(shared > others, "{name}: shared {shared} vs others {others}");
+        assert!(
+            shared > others,
+            "{name}: shared {shared} vs others {others}"
+        );
     }
     // NvB touches the texture path.
     let nvb = benchmark(Scale::Tiny, "NvB").expect("NvB").run(&c, false);
@@ -140,9 +143,7 @@ fn memory_space_mix_matches_paper() {
 fn integer_instructions_dominate() {
     // Figure 8: integer instructions exceed 60% for the DP kernels.
     use ggpu_isa::InstrClass;
-    let r = benchmark(Scale::Tiny, "SW")
-        .expect("SW")
-        .run(&cfg(), false);
+    let r = benchmark(Scale::Tiny, "SW").expect("SW").run(&cfg(), false);
     let total: u64 = [
         InstrClass::Int,
         InstrClass::Fp,

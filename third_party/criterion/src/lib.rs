@@ -1,0 +1,218 @@
+//! Minimal offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched; this stand-in (wired in through `[patch.crates-io]`)
+//! keeps the workspace's `[[bench]]` targets compiling and gives them
+//! smoke-test semantics: each registered benchmark body runs a handful of
+//! iterations and reports a coarse wall-clock time, with none of
+//! criterion's statistics, plotting or comparison machinery.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u32,
+    last_nanos: u128,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last_nanos = t0.elapsed().as_nanos();
+    }
+}
+
+/// Throughput annotation (recorded, then ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple variant.
+    BytesDecimal(u64),
+}
+
+/// Identifier for one parameterized benchmark instance.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count (clamped to a smoke-test size).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.min(3) as u32;
+        self
+    }
+
+    /// Record the work per iteration (ignored by the stand-in).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Register and immediately smoke-run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.criterion.sample_size,
+            last_nanos: 0,
+        };
+        f(&mut b);
+        eprintln!(
+            "bench {}/{}: {} iters in {} ns",
+            self.name, id, b.iters, b.last_nanos
+        );
+        self
+    }
+
+    /// Register a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.criterion.sample_size,
+            last_nanos: 0,
+        };
+        f(&mut b, input);
+        eprintln!(
+            "bench {}/{}: {} iters in {} ns",
+            self.name, id, b.iters, b.last_nanos
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry/driver.
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 1 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Register and smoke-run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+
+    /// Process CLI arguments (no-op in the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Opaque-value hint, re-exported like upstream.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(4));
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("two", 7), &3u32, |b, &x| {
+                b.iter(|| ran += x)
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+}

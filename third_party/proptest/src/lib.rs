@@ -1,0 +1,469 @@
+//! Minimal offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched; this crate (wired in through `[patch.crates-io]`)
+//! implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! integer-range and tuple strategies, `prop::collection::vec`,
+//! [`prelude::ProptestConfig`], and the `proptest!`, `prop_oneof!`,
+//! `prop_assert*!` and `prop_assume!` macros.
+//!
+//! Semantics are generation-only: each test runs `cases` random inputs
+//! (deterministically seeded from the test name) and panics on the first
+//! failing case. There is no shrinking — a failure reports the panic from
+//! the offending case directly.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner {
+    //! Deterministic generator + case-level control flow.
+
+    /// SplitMix64 stream used to drive all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Deterministic stream derived from a label (the test name).
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                state ^= b as u64;
+                state = state.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi]` as i128 (covers every integer type).
+        pub fn uniform_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+    }
+
+    /// Why a generated case did not run to completion.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Reject,
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Build a recursive strategy: `recurse` lifts a strategy for the
+    /// element type into a strategy for one more level of nesting, applied
+    /// up to `depth` times over the base (leaf) strategy.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen_fn: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen_fn: Arc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            gen_fn: Arc::new(f),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; each draw picks one arm uniformly.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.uniform_i128(0, self.arms.len() as i128 - 1) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.uniform_i128(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.uniform_i128(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*}
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    }
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+pub mod prop {
+    //! `prop::` namespace mirrored from upstream.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{BoxedStrategy, Strategy};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Length specification for [`vec`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty vec size range");
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        /// `Vec` strategy: length drawn from `size`, elements from
+        /// `element`.
+        pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+        {
+            let size = size.into();
+            let base = element.boxed();
+            BoxedStrategy::from_fn(move |rng| {
+                let len = rng.uniform_i128(size.lo as i128, size.hi as i128) as usize;
+                (0..len).map(|_| base.generate(rng)).collect()
+            })
+        }
+    }
+}
+
+/// Per-test runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude`.
+
+    pub use crate::prop;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < config.cases {
+                let (($($pat,)+),) = (($($crate::Strategy::generate(&($strat), &mut rng),)+),);
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "{}: gave up after {} prop_assume! rejections",
+                                stringify!($name),
+                                rejected
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Choose uniformly between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Reject the current case (counts against `max_global_rejects`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..4, 1..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_bounded(x in 3u8..17, y in 5usize..=9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in small_vec()) {
+            prop_assert!((1..10).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn tuple_patterns_destructure((a, b) in (0u32..5, 0u32..5)) {
+            prop_assert!(a < 5 && b < 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..8).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                inner
+                    .clone()
+                    .prop_map(|t| Tree::Node(Box::new(t.clone()), Box::new(t))),
+                inner,
+            ]
+        });
+        let mut rng = TestRng::deterministic("trees");
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 5);
+        }
+    }
+}
