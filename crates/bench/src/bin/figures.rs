@@ -1,9 +1,16 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [names...] [--scale tiny|small|paper]
+//! figures [names...] [--scale tiny|small|paper] [--json] [--trace]
 //! figures all --scale small
+//! figures --trace --scale tiny      # profiling run, Chrome-trace export only
 //! ```
+//!
+//! Every table/figure is also written to `results/<name>.csv`
+//! (override the directory with `GGPU_RESULTS_DIR`). `--json` and
+//! `--trace` run the profiling mode — all benchmarks with interval
+//! sampling and event tracing on — exporting `results/profile_<scale>.json`
+//! and/or `results/trace_<scale>.json` (Perfetto-loadable).
 
 use ggpu_bench::figures;
 use ggpu_kernels::Scale;
@@ -12,6 +19,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut names = Vec::new();
+    let mut json = false;
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -26,12 +35,21 @@ fn main() {
                     }
                 };
             }
+            "--json" => json = true,
+            "--trace" => trace = true,
             name => names.push(name.to_string()),
         }
     }
+    if json || trace {
+        figures::profile(scale, json, trace);
+    }
     if names.is_empty() {
+        if json || trace {
+            return;
+        }
         eprintln!(
-            "usage: figures [all|table1|table2|table3|fig2..fig22]... [--scale tiny|small|paper]"
+            "usage: figures [all|table1|table2|table3|fig2..fig22|profile]... \
+             [--scale tiny|small|paper] [--json] [--trace]"
         );
         eprintln!("experiments: {}", figures::ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);

@@ -6,14 +6,98 @@
 //! simulate a scaled workload); the *shape* — who wins, by what rough
 //! factor, where the crossovers are — is what EXPERIMENTS.md tracks.
 
+use std::path::PathBuf;
+
+use ggpu_core::json::{Json, JsonWriter};
 use ggpu_core::{
-    all_benchmarks, cpu_baseline, render_table, sram_usage, BenchResult, Benchmark, GpuConfig,
-    Scale,
+    all_benchmarks, chrome_trace_json, cpu_baseline, render_table, sram_usage, BenchResult,
+    Benchmark, GpuConfig, ProfileReport, Scale, TraceEvent,
 };
 use ggpu_icnt::Topology;
 use ggpu_isa::{InstrClass, Space};
 use ggpu_mem::DramScheduler;
 use ggpu_sm::{SchedPolicy, StallReason};
+
+/// Directory machine-readable outputs (CSV/JSON) land in. Defaults to
+/// `results/`; override with the `GGPU_RESULTS_DIR` environment variable.
+fn results_dir() -> PathBuf {
+    std::env::var_os("GGPU_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Quote a CSV cell when it contains a delimiter, quote, or newline.
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Write one table as `results/<name>.csv`. Failures warn and continue —
+/// CSV export never breaks figure regeneration.
+fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| csv_cell(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Print a table and mirror it to `results/<name>.csv`.
+fn emit(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", render_table(headers, rows));
+    write_csv(name, headers, rows);
+}
+
+/// Write a JSON document to `results/<name>.json` after validating it
+/// parses, so every emitted file is machine-readable by construction.
+fn write_json_doc(name: &str, doc: &str) -> Option<PathBuf> {
+    if let Err(e) = Json::parse(doc) {
+        eprintln!("warning: {name}.json failed self-validation: {e}");
+        return None;
+    }
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, doc) {
+        Ok(()) => {
+            println!("[wrote {}]", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
 
 /// All benchmark labels including CDP variants, in display order.
 fn variant_labels() -> Vec<String> {
@@ -95,7 +179,7 @@ pub fn table1() {
         ],
         vec!["Scheduler".into(), "LRR, GTO, OLD, 2LV".into()],
     ];
-    println!("{}", render_table(&["Configuration", "Settings"], &rows));
+    emit("table1", &["Configuration", "Settings"], &rows);
 }
 
 /// Table II: interconnect configuration space.
@@ -125,7 +209,7 @@ pub fn table2() {
             format!("8, 16, 32, [{}]", c.icnt.flit_bytes),
         ],
     ];
-    println!("{}", render_table(&["Configuration", "Settings"], &rows));
+    emit("table2", &["Configuration", "Settings"], &rows);
 }
 
 /// Table III: benchmark properties.
@@ -147,21 +231,19 @@ pub fn table3(scale: Scale) {
             format!("{}", u.resident_ctas),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Benchmark",
-                "Abr.",
-                "Input",
-                "Grid",
-                "CTA",
-                "Shared?",
-                "Const?",
-                "CTA/core"
-            ],
-            &rows
-        )
+    emit(
+        "table3",
+        &[
+            "Benchmark",
+            "Abr.",
+            "Input",
+            "Grid",
+            "CTA",
+            "Shared?",
+            "Const?",
+            "CTA/core",
+        ],
+        &rows,
     );
 }
 
@@ -190,9 +272,10 @@ pub fn fig2(scale: Scale) {
             format!("{:.1}x", cpu_s / gpu_s),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["Bench", "CPU", "GPU", "GPU+CDP", "GPU speedup"], &rows)
+    emit(
+        "fig2",
+        &["Bench", "CPU", "GPU", "GPU+CDP", "GPU speedup"],
+        &rows,
     );
 }
 
@@ -224,12 +307,10 @@ pub fn fig3(scale: Scale) {
             improvements.iter().sum::<f64>() / improvements.len() as f64 * 100.0
         ),
     ]);
-    println!(
-        "{}",
-        render_table(
-            &["Bench", "non-CDP cycles", "CDP cycles", "CDP improvement"],
-            &rows
-        )
+    emit(
+        "fig3",
+        &["Bench", "non-CDP cycles", "CDP cycles", "CDP improvement"],
+        &rows,
     );
 }
 
@@ -253,20 +334,18 @@ pub fn fig4(scale: Scale) {
             format!("{:.0}", h.avg_pci_cycles()),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "Bench",
-                "Kernel count",
-                "PCI count",
-                "Kernel cyc",
-                "Avg kernel",
-                "PCI cyc",
-                "Avg PCI"
-            ],
-            &rows
-        )
+    emit(
+        "fig4",
+        &[
+            "Bench",
+            "Kernel count",
+            "PCI count",
+            "Kernel cyc",
+            "Avg kernel",
+            "PCI cyc",
+            "Avg PCI",
+        ],
+        &rows,
     );
 }
 
@@ -288,7 +367,7 @@ pub fn fig5(scale: Scale) {
     let mut headers = vec!["Bench"];
     let names: Vec<&str> = StallReason::ALL.iter().map(|r| r.name()).collect();
     headers.extend(names);
-    println!("{}", render_table(&headers, &rows));
+    emit("fig5", &headers, &rows);
 }
 
 /// Figure 6: SRAM utilization.
@@ -306,12 +385,10 @@ pub fn fig6(scale: Scale) {
             format!("{:.1}", u.constant * 100.0),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &["Bench", "CTAs/SM", "Registers %", "Shared %", "Constant %"],
-            &rows
-        )
+    emit(
+        "fig6",
+        &["Bench", "CTAs/SM", "Registers %", "Shared %", "Constant %"],
+        &rows,
     );
 }
 
@@ -344,10 +421,7 @@ pub fn fig7(scale: Scale) {
             ),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["Bench", "slowdown without shared memory"], &rows)
-    );
+    emit("fig7", &["Bench", "slowdown without shared memory"], &rows);
 }
 
 /// Figure 8: instruction-type distribution.
@@ -375,9 +449,10 @@ pub fn fig8(scale: Scale) {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["Bench", "int", "fp", "ld/st", "sfu", "ctrl"], &rows)
+    emit(
+        "fig8",
+        &["Bench", "int", "fp", "ld/st", "sfu", "ctrl"],
+        &rows,
     );
 }
 
@@ -399,12 +474,12 @@ pub fn fig9(scale: Scale) {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(
-            &["Bench", "shared", "tex", "const", "param", "local", "global"],
-            &rows
-        )
+    emit(
+        "fig9",
+        &[
+            "Bench", "shared", "tex", "const", "param", "local", "global",
+        ],
+        &rows,
     );
 }
 
@@ -427,12 +502,12 @@ pub fn fig10(scale: Scale) {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(
-            &["Bench", "W1-4", "W5-8", "W9-12", "W13-16", "W17-20", "W21-24", "W25-28", "W29-32"],
-            &rows
-        )
+    emit(
+        "fig10",
+        &[
+            "Bench", "W1-4", "W5-8", "W9-12", "W13-16", "W17-20", "W21-24", "W25-28", "W29-32",
+        ],
+        &rows,
     );
 }
 
@@ -472,7 +547,7 @@ pub fn fig11(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig11", &hdr, &rows);
 }
 
 /// The cache-size sweep shared by Figures 12-14.
@@ -503,7 +578,7 @@ pub fn fig12(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig12", &hdr, &rows);
 }
 
 /// Figures 13 and 14: L1 and L2 miss rates across the cache sweep.
@@ -524,14 +599,10 @@ pub fn fig13_14(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!(
-        "L1 miss rate (Figure 13):\n{}",
-        render_table(&hdr, &l1_rows)
-    );
-    println!(
-        "L2 miss rate (Figure 14):\n{}",
-        render_table(&hdr, &l2_rows)
-    );
+    println!("L1 miss rate (Figure 13):");
+    emit("fig13", &hdr, &l1_rows);
+    println!("L2 miss rate (Figure 14):");
+    emit("fig14", &hdr, &l2_rows);
 }
 
 /// Figure 15: perfect-memory speedup.
@@ -555,9 +626,10 @@ pub fn fig15(scale: Scale) {
         String::new(),
         format!("{:.3}", avg / variant_labels().len() as f64),
     ]);
-    println!(
-        "{}",
-        render_table(&["Bench", "baseline", "perfect-memory speedup"], &rows)
+    emit(
+        "fig15",
+        &["Bench", "baseline", "perfect-memory speedup"],
+        &rows,
     );
 }
 
@@ -604,7 +676,7 @@ pub fn fig16_17_18(scale: Scale) {
         headers.push(format!("{n} util%"));
     }
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig16_17_18", &hdr, &rows);
 }
 
 /// Figure 19: warp-scheduler sweep.
@@ -625,7 +697,7 @@ pub fn fig19(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig19", &hdr, &rows);
 }
 
 /// Figure 20: interconnect-topology sweep.
@@ -646,7 +718,7 @@ pub fn fig20(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig20", &hdr, &rows);
 }
 
 /// Figure 21: mesh router-latency sweep.
@@ -666,7 +738,7 @@ pub fn fig21(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig21", &hdr, &rows);
 }
 
 /// Figure 22: mesh channel-bandwidth sweep.
@@ -686,7 +758,7 @@ pub fn fig22(scale: Scale) {
     let mut headers = vec!["Bench".to_string()];
     headers.extend(configs.iter().map(|(n, _)| n.clone()));
     let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("{}", render_table(&hdr, &rows));
+    emit("fig22", &hdr, &rows);
 }
 
 /// Ablation: design choices called out in DESIGN.md.
@@ -718,12 +790,10 @@ pub fn ablation(scale: Scale) {
             format!("{}", r.stats.sm.offchip_txns),
         ]);
     }
-    println!(
-        "{}",
-        render_table(
-            &["Design point", "cycles", "slowdown", "off-chip txns"],
-            &rows
-        )
+    emit(
+        "ablation",
+        &["Design point", "cycles", "slowdown", "off-chip txns"],
+        &rows,
     );
 }
 
@@ -752,10 +822,92 @@ pub fn extension_traceback(scale: Scale) {
             ),
         ],
     ];
-    println!("{}", render_table(&["Kernel", "cycles", "relative"], &rows));
+    emit("extension", &["Kernel", "cycles", "relative"], &rows);
 }
 
-/// Run a named experiment ("table1" ... "fig22" or "all").
+/// Observability mode (`--json` / `--trace`): run every benchmark in both
+/// non-CDP and CDP variants with interval sampling and event tracing
+/// enabled, print a per-variant profile summary, and export the raw
+/// profiles as machine-readable JSON:
+///
+/// * `results/profile_<scale>.json` — one [`ProfileReport`] per variant
+///   (per-kernel counter deltas, interval samples, typed event list).
+/// * `results/trace_<scale>.json` — a single Chrome-trace file with one
+///   process row per variant; load it at <https://ui.perfetto.dev>.
+///
+/// Both documents are re-parsed with [`Json::parse`] before being written,
+/// so an export that reaches disk is well-formed by construction.
+pub fn profile(scale: Scale, write_json: bool, write_trace: bool) {
+    println!("PROFILE: time-resolved per-kernel records, interval samples, event trace\n");
+    let mut config = GpuConfig::rtx3070();
+    config.sample_interval_cycles = 20_000;
+    config.trace = true;
+    let mut profiles: Vec<(String, ProfileReport)> = Vec::new();
+    let mut rows = Vec::new();
+    for b in all_benchmarks(scale) {
+        for cdp in [false, true] {
+            let label = if cdp {
+                format!("{}-CDP", b.abbrev())
+            } else {
+                b.abbrev().to_string()
+            };
+            let r = b.run(&config, cdp);
+            assert!(r.verified, "{label} failed functional validation");
+            let p = *r.profile.expect("profiling enabled by config");
+            let children = p.kernels.iter().filter(|k| k.is_cdp_child()).count();
+            rows.push(vec![
+                label.clone(),
+                format!("{}", p.kernels.len()),
+                format!("{children}"),
+                format!("{}", p.samples.len()),
+                format!("{}", p.events.len()),
+                format!("{:.3}", p.stats.ipc()),
+            ]);
+            profiles.push((label, p));
+        }
+    }
+    emit(
+        "profile",
+        &[
+            "Bench",
+            "kernels",
+            "CDP children",
+            "samples",
+            "events",
+            "IPC",
+        ],
+        &rows,
+    );
+    let tag = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    };
+    if write_json {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        for (label, p) in &profiles {
+            w.raw(label, &p.to_json());
+        }
+        w.end_obj();
+        write_json_doc(&format!("profile_{tag}"), &w.finish());
+    }
+    if write_trace {
+        let logs: Vec<(String, &[TraceEvent])> = profiles
+            .iter()
+            .map(|(label, p)| (label.clone(), p.events.as_slice()))
+            .collect();
+        let doc = chrome_trace_json(&logs, config.clock_ghz);
+        if let Some(path) = write_json_doc(&format!("trace_{tag}"), &doc) {
+            println!(
+                "Open https://ui.perfetto.dev and load {} to view the timeline.",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Run a named experiment ("table1" ... "fig22", "profile", or "all").
 pub fn run(name: &str, scale: Scale) {
     match name {
         "table1" => table1(),
@@ -781,6 +933,7 @@ pub fn run(name: &str, scale: Scale) {
         "fig22" => fig22(scale),
         "ablation" => ablation(scale),
         "extension" => extension_traceback(scale),
+        "profile" => profile(scale, true, true),
         "all" => {
             for n in ALL_EXPERIMENTS {
                 println!("\n=== {n} ===\n");
@@ -816,4 +969,5 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig22",
     "ablation",
     "extension",
+    "profile",
 ];

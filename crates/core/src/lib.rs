@@ -28,8 +28,9 @@ use std::time::Instant;
 
 pub use ggpu_kernels::{all_benchmarks, BenchResult, Benchmark, KernelResources, Scale, Table3Row};
 pub use ggpu_sim::{
-    DeadlockReport, DeviceFault, FaultKind, FaultPlan, Gpu, GpuConfig, LaunchProblem, RunStats,
-    SimError,
+    chrome_trace_json, json, run_stats_json, DeadlockReport, DeviceFault, FaultKind, FaultPlan,
+    Gpu, GpuConfig, IntervalSample, KernelRecord, LaunchProblem, ProfileReport, RunStats, SimError,
+    TraceBuffer, TraceEvent, TraceEventKind, TraceSink,
 };
 
 use ggpu_genomics::{nw_score, sequence_family, sw_score, GapModel, Simple};

@@ -390,6 +390,9 @@ impl Benchmark for ClusterBench {
         };
 
         let verified = got_rep == self.expected_rep;
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
@@ -405,6 +408,7 @@ impl Benchmark for ClusterBench {
                 cdp
             ),
             stats,
+            profile,
         }
     }
 }

@@ -555,6 +555,9 @@ impl Benchmark for NvbBench {
             .map(|c| u64::from_le_bytes(c.try_into().expect("8B")))
             .collect();
         let verified = got == self.expected;
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
@@ -564,6 +567,7 @@ impl Benchmark for NvbBench {
                 n, self.read_len, self.genome_len, self.batches, cdp
             ),
             stats,
+            profile,
         }
     }
 }

@@ -505,6 +505,9 @@ impl Benchmark for PairHmmBench {
                 verified = false;
             }
         }
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
@@ -514,6 +517,7 @@ impl Benchmark for PairHmmBench {
                 n, self.read_len, self.hap_len, self.rows, cdp
             ),
             stats,
+            profile,
         }
     }
 }

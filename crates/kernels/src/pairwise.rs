@@ -395,6 +395,9 @@ impl Benchmark for PairwiseBench {
             .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
             .collect();
         let verified = got == self.expected;
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
@@ -404,6 +407,7 @@ impl Benchmark for PairwiseBench {
                 self.abbrev, n, self.max_len, self.batches, cdp
             ),
             stats,
+            profile,
         }
     }
 }

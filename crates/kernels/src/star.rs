@@ -499,6 +499,9 @@ impl Benchmark for StarBench {
         let verified = center == self.expected_center
             && final_scores == self.expected_final_scores
             && pair_scores == self.expected_pair_scores;
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
@@ -508,6 +511,7 @@ impl Benchmark for StarBench {
                 self.n_seqs, self.seq_len, n_pairs, center, cdp
             ),
             stats,
+            profile,
         }
     }
 }

@@ -537,12 +537,16 @@ impl TracebackBench {
             .chunks_exact(8)
             .map(|c| i64::from_le_bytes(c.try_into().expect("8B")))
             .collect();
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         crate::BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified: scores == self.expected_scores,
             detail: format!("GG score-only on the traceback workload ({n} pairs)"),
             stats,
+            profile,
         }
     }
 
@@ -618,12 +622,16 @@ impl TracebackBench {
                 verified = false;
             }
         }
+        let profile = gpu
+            .profiling_enabled()
+            .then(|| Box::new(gpu.take_profile()));
         let stats = gpu.stats();
         crate::BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             detail: format!("GG-TB: {} pairs with full CIGAR traceback", n),
             stats,
+            profile,
         }
     }
 }

@@ -83,6 +83,23 @@ pub struct GpuConfig {
     pub cdp_max_depth: u32,
     /// Deterministic fault injection (testing / hardening harnesses).
     pub fault_plan: FaultPlan,
+    /// Interval-sampler period in cycles; `0` (the default) disables
+    /// sampling entirely — the only cost on the disabled path is one
+    /// branch per device cycle.
+    pub sample_interval_cycles: u64,
+    /// Interval-sample ring capacity; once full, the oldest sample is
+    /// evicted (and counted in `samples_dropped`).
+    pub sample_ring_capacity: usize,
+    /// Record a structured event trace into the built-in in-memory buffer.
+    /// Off by default; custom sinks can be installed regardless via
+    /// [`crate::Gpu::set_trace_sink`].
+    pub trace: bool,
+    /// Built-in trace-buffer capacity in events (terminal fault/deadlock
+    /// events are retained past it).
+    pub trace_capacity: usize,
+    /// Also emit an event per L2 line fill from DRAM. High frequency;
+    /// off by default so traces stay kernel-granular.
+    pub trace_cache_fills: bool,
 }
 
 impl Default for GpuConfig {
@@ -115,6 +132,11 @@ impl GpuConfig {
             cdp_queue_limit: 2048,
             cdp_max_depth: 24,
             fault_plan: FaultPlan::default(),
+            sample_interval_cycles: 0,
+            sample_ring_capacity: 4096,
+            trace: false,
+            trace_capacity: 1 << 20,
+            trace_cache_fills: false,
         }
     }
 
@@ -180,6 +202,16 @@ mod tests {
         assert_eq!(c.cdp_max_depth, 24);
         assert_eq!(c.fault_plan, FaultPlan::default());
         assert!(c.fault_plan.poison.is_none());
+    }
+
+    #[test]
+    fn profiling_is_off_by_default() {
+        let c = GpuConfig::rtx3070();
+        assert_eq!(c.sample_interval_cycles, 0);
+        assert_eq!(c.sample_ring_capacity, 4096);
+        assert!(!c.trace);
+        assert_eq!(c.trace_capacity, 1 << 20);
+        assert!(!c.trace_cache_fills);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use ggpu_sm::{CtaConfig, MemRequest, ReqKind, SmCore, TickOutput, Trap, WarpRepo
 use crate::config::GpuConfig;
 use crate::error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 use crate::memory::{DeviceMemory, DevicePtr};
+use crate::profile::{IntervalSample, KernelRecord, ProfileReport, Sampler};
 use crate::stats::{HostStats, RunStats};
+use crate::trace::{CopyDir, TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
 
 /// Absolute backstop on simulated cycles per `synchronize`. The configurable
 /// forward-progress watchdog ([`GpuConfig::watchdog_cycles`]) normally fires
@@ -33,6 +35,18 @@ enum Ev {
     },
     /// A reply packet arrived back at its SM.
     Reply { sm: usize, id: u64 },
+}
+
+/// Where trace events go. [`SinkSlot::Off`] keeps the disabled path at a
+/// single branch per emission site.
+#[derive(Debug)]
+enum SinkSlot {
+    /// Tracing disabled (the default).
+    Off,
+    /// The built-in in-memory buffer ([`GpuConfig::trace`]).
+    Buffer(TraceBuffer),
+    /// A user-installed sink ([`Gpu::set_trace_sink`]).
+    Custom(Box<dyn TraceSink>),
 }
 
 #[derive(Debug)]
@@ -61,6 +75,10 @@ struct Grid {
     from_host: bool,
     /// CDP nesting depth: 0 for host grids, parent + 1 for children.
     depth: u32,
+    /// Cycle at which the grid was enqueued.
+    launch_cycle: u64,
+    /// Cycle at which the first CTA dispatched; `None` until then.
+    start_cycle: Option<u64>,
 }
 
 impl Grid {
@@ -114,6 +132,17 @@ pub struct Gpu {
     last_progress: u64,
     /// Replies sent so far, for deterministic drop-the-Nth injection.
     replies_sent: u64,
+    /// Where trace events go ([`SinkSlot::Off`] unless tracing is on).
+    sink: SinkSlot,
+    /// Per-kernel records, in retire order (collected while profiling is
+    /// enabled).
+    records: Vec<KernelRecord>,
+    /// Counter snapshot at the last retire boundary (or stats reset); the
+    /// base of the next kernel record's delta.
+    record_base: RunStats,
+    /// Interval sampler, present only when
+    /// [`GpuConfig::sample_interval_cycles`] is non-zero.
+    sampler: Option<Sampler>,
 }
 
 impl Gpu {
@@ -160,6 +189,15 @@ impl Gpu {
             fault: None,
             last_progress: 0,
             replies_sent: 0,
+            sink: if config.trace {
+                SinkSlot::Buffer(TraceBuffer::new(config.trace_capacity))
+            } else {
+                SinkSlot::Off
+            },
+            records: Vec::new(),
+            record_base: RunStats::default(),
+            sampler: (config.sample_interval_cycles > 0)
+                .then(|| Sampler::new(config.sample_interval_cycles, config.sample_ring_capacity)),
             config,
             program,
         }
@@ -233,10 +271,18 @@ impl Gpu {
             return Err(f);
         }
         self.mem.write_slice(dst, data);
+        let cost = self.config.pcie.latency
+            + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
         self.host.pci_count += 1;
         self.host.h2d_bytes += data.len() as u64;
-        self.host.pci_cycles += self.config.pcie.latency
-            + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        self.host.pci_cycles += cost;
+        if self.trace_on() {
+            self.emit(TraceEventKind::Memcpy {
+                dir: CopyDir::H2D,
+                bytes: data.len() as u64,
+                cycles: cost,
+            });
+        }
         Ok(())
     }
 
@@ -255,10 +301,18 @@ impl Gpu {
         if let Some(f) = self.fault.clone() {
             return Err(f);
         }
+        let cost =
+            self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
         self.host.pci_count += 1;
         self.host.d2h_bytes += len as u64;
-        self.host.pci_cycles +=
-            self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        self.host.pci_cycles += cost;
+        if self.trace_on() {
+            self.emit(TraceEventKind::Memcpy {
+                dir: CopyDir::D2H,
+                bytes: len as u64,
+                cycles: cost,
+            });
+        }
         Ok(self.mem.read_slice(src, len))
     }
 
@@ -371,10 +425,20 @@ impl Gpu {
                 armed_at: None,
                 from_host: true,
                 depth: 0,
+                launch_cycle: self.cycle,
+                start_cycle: None,
             },
         );
         self.host_queue.push_back(handle);
         self.host.kernel_launches += 1;
+        if self.trace_on() {
+            self.emit(TraceEventKind::KernelLaunch {
+                grid: handle,
+                kernel: self.kernel_name(kernel),
+                ctas: dims.num_ctas(),
+                threads_per_cta: dims.threads_per_cta(),
+            });
+        }
         Ok(handle)
     }
 
@@ -409,19 +473,27 @@ impl Gpu {
             self.tick();
             if let Some(f) = self.fault.clone() {
                 self.host.kernel_cycles += self.cycle - start;
+                self.flush_sample();
                 return Err(f);
             }
             let stalled = self.cycle - self.last_progress;
             if stalled >= self.config.watchdog_cycles || self.cycle - start >= MAX_SYNC_CYCLES {
                 let err = SimError::Deadlock(Box::new(self.deadlock_report(stalled)));
                 self.fault = Some(err.clone());
+                if self.trace_on() {
+                    self.emit(TraceEventKind::Deadlock {
+                        stalled_for: stalled,
+                    });
+                }
                 self.halt_device();
                 self.host.kernel_cycles += self.cycle - start;
+                self.flush_sample();
                 return Err(err);
             }
         }
         let elapsed = self.cycle - start;
         self.host.kernel_cycles += elapsed;
+        self.flush_sample();
         Ok(elapsed)
     }
 
@@ -502,7 +574,8 @@ impl Gpu {
         r
     }
 
-    /// Reset every statistic (not memory contents or cache tags).
+    /// Reset every statistic (not memory contents or cache tags), including
+    /// per-kernel records, interval samples, and the trace buffer.
     pub fn reset_stats(&mut self) {
         self.host = HostStats::default();
         for sm in &mut self.sms {
@@ -517,6 +590,125 @@ impl Gpu {
         }
         self.icnt_req.reset_stats();
         self.icnt_rep.reset_stats();
+        self.records.clear();
+        self.record_base = RunStats::default();
+        if let Some(s) = &mut self.sampler {
+            let interval = s.interval;
+            let capacity = s.capacity;
+            *s = Sampler::new(interval, capacity);
+            s.last_boundary = self.cycle;
+        }
+        if let SinkSlot::Buffer(b) = &mut self.sink {
+            let _ = b.take();
+        }
+    }
+
+    // ---- profiling --------------------------------------------------------
+
+    /// Whether the profiling layer is collecting anything: a trace sink is
+    /// installed and/or interval sampling is on. Per-kernel records are
+    /// collected exactly while this is true. Profiling never changes
+    /// simulated timing or [`Gpu::stats`] — with everything disabled the
+    /// per-cycle cost is a single branch.
+    pub fn profiling_enabled(&self) -> bool {
+        self.trace_on() || self.sampler.is_some()
+    }
+
+    /// Install a custom trace sink (replacing the built-in buffer if
+    /// [`GpuConfig::trace`] was set). The sink sees every event from now on.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = SinkSlot::Custom(sink);
+    }
+
+    /// Per-kernel counter records collected so far, in retire order.
+    pub fn kernel_records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Completed interval samples currently in the ring, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &IntervalSample> + '_ {
+        self.sampler.iter().flat_map(|s| s.ring.iter())
+    }
+
+    /// Samples evicted from the ring so far.
+    pub fn samples_dropped(&self) -> u64 {
+        self.sampler.as_ref().map_or(0, |s| s.dropped)
+    }
+
+    /// Events recorded by the built-in trace buffer (empty when tracing is
+    /// off or a custom sink is installed).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        match &self.sink {
+            SinkSlot::Buffer(b) => b.events(),
+            _ => &[],
+        }
+    }
+
+    /// Take everything the profiler has collected as one machine-readable
+    /// [`ProfileReport`], leaving the profiler empty (subsequent records and
+    /// samples start from the current counter values).
+    pub fn take_profile(&mut self) -> ProfileReport {
+        self.flush_sample();
+        let stats = self.stats();
+        let (samples, samples_dropped) = match &mut self.sampler {
+            Some(s) => (
+                std::mem::take(&mut s.ring).into_iter().collect(),
+                std::mem::take(&mut s.dropped),
+            ),
+            None => (Vec::new(), 0),
+        };
+        let (events, events_dropped) = match &mut self.sink {
+            SinkSlot::Buffer(b) => b.take(),
+            _ => (Vec::new(), 0),
+        };
+        self.record_base = stats.clone();
+        ProfileReport {
+            stats,
+            clock_ghz: self.config.clock_ghz,
+            kernels: std::mem::take(&mut self.records),
+            samples,
+            samples_dropped,
+            events,
+            events_dropped,
+        }
+    }
+
+    #[inline]
+    fn trace_on(&self) -> bool {
+        !matches!(self.sink, SinkSlot::Off)
+    }
+
+    /// Hand one event to the installed sink. Callers guard with
+    /// [`Gpu::trace_on`] so the disabled path never constructs an event.
+    fn emit(&mut self, kind: TraceEventKind) {
+        let ev = TraceEvent {
+            cycle: self.cycle,
+            kind,
+        };
+        match &mut self.sink {
+            SinkSlot::Off => {}
+            SinkSlot::Buffer(b) => b.event(&ev),
+            SinkSlot::Custom(s) => s.event(&ev),
+        }
+    }
+
+    /// Display name for a kernel id.
+    fn kernel_name(&self, id: KernelId) -> String {
+        self.program
+            .get(id)
+            .map(|k| k.name.clone())
+            .unwrap_or_else(|| format!("k{}", id.0))
+    }
+
+    /// Close the sampler's partial trailing window (no-op when sampling is
+    /// off or no cycles elapsed since the last boundary).
+    fn flush_sample(&mut self) {
+        if self.sampler.is_some() {
+            let snap = self.stats();
+            if let Some(s) = &mut self.sampler {
+                s.close_window(self.cycle, &snap);
+            }
+        }
     }
 
     // ---- internals --------------------------------------------------------
@@ -633,6 +825,12 @@ impl Gpu {
                 match self.dram_inflight.remove(&key) {
                     Some(DramTarget::Fill { part, line }) => {
                         self.l2[part].fill(line * LINE_BYTES, false);
+                        if self.config.trace_cache_fills && self.trace_on() {
+                            self.emit(TraceEventKind::CacheFill {
+                                partition: part as u64,
+                                addr: line * LINE_BYTES,
+                            });
+                        }
                         if let Some(waiters) = self.l2_waiters.remove(&(part, line)) {
                             for (sm, id) in waiters {
                                 self.send_reply(part, sm, id, 0);
@@ -725,8 +923,16 @@ impl Gpu {
                 failures += 1;
             }
         }
+        let mut started = false;
         if let Some(g) = self.grids.get_mut(&handle) {
             g.next_cta = next_cta;
+            if g.start_cycle.is_none() && next_cta > 0 {
+                g.start_cycle = Some(self.cycle);
+                started = true;
+            }
+        }
+        if started && self.trace_on() {
+            self.emit(TraceEventKind::KernelStart { grid: handle });
         }
     }
 
@@ -833,8 +1039,38 @@ impl Gpu {
             Some(g) => g,
             None => return,
         };
+        if self.profiling_enabled() {
+            // Per-kernel counter scoping by retire interval: this record's
+            // delta covers everything since the previous retire boundary, so
+            // record deltas telescope to the run totals.
+            let snap = self.stats();
+            let delta = snap.delta_since(&self.record_base);
+            self.record_base = snap;
+            self.records.push(KernelRecord {
+                grid: handle,
+                kernel: self.kernel_name(grid.kernel),
+                kernel_id: grid.kernel.0,
+                ctas: grid.dims.num_ctas(),
+                threads_per_cta: grid.dims.threads_per_cta(),
+                parent: grid.parent.map(|(_, _, p)| p),
+                depth: grid.depth,
+                launch_cycle: grid.launch_cycle,
+                start_cycle: grid.start_cycle.unwrap_or(grid.launch_cycle),
+                retire_cycle: self.cycle,
+                stats: delta,
+            });
+        }
+        if self.trace_on() {
+            self.emit(TraceEventKind::KernelRetire { grid: handle });
+        }
         if let Some((sm, slot, parent_handle)) = grid.parent {
             self.sms[sm].child_grid_done(slot, Some(parent_handle));
+            if self.trace_on() {
+                self.emit(TraceEventKind::CdpDrain {
+                    parent: parent_handle,
+                    child: handle,
+                });
+            }
         }
         if grid.from_host {
             debug_assert_eq!(self.host_queue.front(), Some(&handle));
@@ -914,6 +1150,12 @@ impl Gpu {
         if self.fault.is_none() {
             if let Some((sm, t)) = first_trap {
                 self.fault = Some(self.fault_from_trap(sm, &t));
+                if self.trace_on() {
+                    self.emit(TraceEventKind::Fault {
+                        kind: t.kind,
+                        kernel: self.kernel_name(t.kernel),
+                    });
+                }
             }
         }
         if self.fault.is_some() {
@@ -933,6 +1175,14 @@ impl Gpu {
                 .any(|g| g.armed_at.is_some_and(|t| t > now));
         if progress {
             self.last_progress = now;
+        }
+
+        // 7. Interval sampler: close a window at each absolute multiple of
+        // the sampling period. One branch when sampling is off.
+        if self.config.sample_interval_cycles != 0
+            && now.is_multiple_of(self.config.sample_interval_cycles)
+        {
+            self.flush_sample();
         }
     }
 
@@ -962,7 +1212,7 @@ impl Gpu {
                 .unwrap_or_else(|| "?".to_string());
             self.fault = Some(SimError::DeviceFault(Box::new(DeviceFault {
                 kind,
-                kernel,
+                kernel: kernel.clone(),
                 sm: parent_sm,
                 cta: None,
                 warp: None,
@@ -973,6 +1223,9 @@ impl Gpu {
                 addr: None,
                 cycle: self.cycle,
             })));
+            if self.trace_on() {
+                self.emit(TraceEventKind::Fault { kind, kernel });
+            }
             return;
         }
         let kernel = KernelId(l.kernel);
@@ -1005,8 +1258,20 @@ impl Gpu {
                 armed_at: Some(self.cycle + self.config.cdp_launch_overhead),
                 from_host: false,
                 depth,
+                launch_cycle: self.cycle,
+                start_cycle: None,
             },
         );
         self.device_queue.push_back(handle);
+        if self.trace_on() {
+            self.emit(TraceEventKind::CdpEnqueue {
+                grid: handle,
+                kernel: self.kernel_name(kernel),
+                parent: l.parent_grid,
+                depth,
+                ctas: dims.num_ctas(),
+                threads_per_cta: dims.threads_per_cta(),
+            });
+        }
     }
 }

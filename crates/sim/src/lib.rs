@@ -49,14 +49,22 @@
 mod config;
 mod device;
 mod error;
+pub mod json;
 mod memory;
+mod profile;
 mod stats;
+mod trace;
 
 pub use config::{FaultPlan, GpuConfig, PcieConfig};
 pub use device::Gpu;
 pub use error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 pub use memory::{DeviceMemory, DevicePtr};
+pub use profile::{run_stats_json, IntervalSample, KernelRecord, ProfileReport};
 pub use stats::{HostStats, RunStats};
+pub use trace::{
+    chrome_trace_events, chrome_trace_json, CopyDir, TraceBuffer, TraceEvent, TraceEventKind,
+    TraceSink,
+};
 
 // Re-export the fault vocabulary so harnesses matching on errors don't need
 // direct `ggpu-isa` / `ggpu-sm` dependencies.

@@ -1,0 +1,511 @@
+//! Time-resolved profiling: per-kernel counter scoping, the interval
+//! sampler, and the machine-readable [`ProfileReport`] export.
+//!
+//! All three layers are built on one primitive —
+//! [`RunStats::delta_since`] between two whole-machine counter snapshots —
+//! so every number in a record or sample is a plain counter difference,
+//! not a separately maintained statistic. Hot-path counters stay ordinary
+//! fields; the profiler only reads them at kernel-retire and
+//! interval boundaries.
+
+use std::collections::VecDeque;
+
+use ggpu_isa::{InstrClass, Space, WARP_SIZE};
+use ggpu_sm::StallReason;
+
+/// All instruction classes, in Figure 8's display order.
+const INSTR_CLASSES: [InstrClass; 5] = [
+    InstrClass::Int,
+    InstrClass::Fp,
+    InstrClass::LdSt,
+    InstrClass::Sfu,
+    InstrClass::Ctrl,
+];
+
+use crate::json::JsonWriter;
+use crate::stats::RunStats;
+use crate::trace::{chrome_trace_json, TraceEvent};
+
+/// Counter record for one kernel launch (host or CDP child).
+///
+/// Attribution is by *retire interval*: a record's [`KernelRecord::stats`]
+/// delta covers every counter increment between the previous grid
+/// retirement (or run start) and this grid's retirement. Retire intervals
+/// partition the run, so per-kernel deltas always sum exactly to the run
+/// totals — including when CDP children overlap their parent, in which
+/// case concurrent parent activity is attributed to whichever grid retires
+/// the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Grid handle (unique per launch within a `Gpu`).
+    pub grid: u64,
+    /// Kernel name.
+    pub kernel: String,
+    /// Kernel id in the loaded program.
+    pub kernel_id: u32,
+    /// CTAs in the grid.
+    pub ctas: u64,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// `None` for host launches; `Some(parent grid handle)` for CDP
+    /// children.
+    pub parent: Option<u64>,
+    /// CDP nesting depth (0 for host grids).
+    pub depth: u32,
+    /// Device cycle at which the grid was enqueued.
+    pub launch_cycle: u64,
+    /// Device cycle at which the first CTA dispatched (after launch
+    /// overhead); equals `launch_cycle` if the grid retired without
+    /// dispatching.
+    pub start_cycle: u64,
+    /// Device cycle at which the last CTA completed.
+    pub retire_cycle: u64,
+    /// Counter delta for this record's retire interval.
+    pub stats: RunStats,
+}
+
+impl KernelRecord {
+    /// Whether this record is a CDP child launch.
+    pub fn is_cdp_child(&self) -> bool {
+        self.parent.is_some()
+    }
+
+    /// Launch-to-retire latency in cycles (includes launch overhead and,
+    /// for host grids, queueing behind earlier grids on the stream).
+    pub fn latency_cycles(&self) -> u64 {
+        self.retire_cycle.saturating_sub(self.launch_cycle)
+    }
+
+    /// Warp-instructions per cycle over the record's execution window
+    /// (start to retire); zero for a degenerate window.
+    pub fn ipc(&self) -> f64 {
+        let window = self.retire_cycle.saturating_sub(self.start_cycle);
+        if window == 0 {
+            0.0
+        } else {
+            self.stats.sm.issued as f64 / window as f64
+        }
+    }
+
+    /// Serialize as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.u64("grid", self.grid)
+            .str("kernel", &self.kernel)
+            .u64("kernel_id", self.kernel_id as u64)
+            .u64("ctas", self.ctas)
+            .u64("threads_per_cta", self.threads_per_cta as u64)
+            .str("origin", if self.is_cdp_child() { "cdp" } else { "host" })
+            .opt_u64("parent", self.parent)
+            .u64("depth", self.depth as u64)
+            .u64("launch_cycle", self.launch_cycle)
+            .u64("start_cycle", self.start_cycle)
+            .u64("retire_cycle", self.retire_cycle)
+            .f64("ipc", self.ipc())
+            .raw("stats", &run_stats_json(&self.stats));
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// One interval sample: the counter delta over `[start_cycle, end_cycle)`
+/// plus derived rates.
+///
+/// Regular samples span exactly
+/// [`crate::GpuConfig::sample_interval_cycles`]; the trailing sample of a
+/// `synchronize` (flushed so that samples always sum to the aggregate
+/// counters) may be shorter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSample {
+    /// First cycle covered (inclusive).
+    pub start_cycle: u64,
+    /// One past the last cycle covered.
+    pub end_cycle: u64,
+    /// Counter delta over the window.
+    pub stats: RunStats,
+}
+
+impl IntervalSample {
+    /// Window length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Warp-instructions per cycle over the window.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.stats.sm.issued as f64 / c as f64
+        }
+    }
+
+    /// Mean active lanes per issued warp-instruction (SIMD occupancy),
+    /// in `[0, 32]`.
+    pub fn occupancy(&self) -> f64 {
+        self.stats.sm.avg_active_lanes()
+    }
+
+    /// L1 miss rate over the window's accesses.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.stats.l1.miss_rate()
+    }
+
+    /// L2 miss rate over the window's accesses.
+    pub fn l2_miss_rate(&self) -> f64 {
+        self.stats.l2.miss_rate()
+    }
+
+    /// DRAM data-pin utilization over the window.
+    pub fn dram_utilization(&self) -> f64 {
+        self.stats.dram.utilization(self.cycles())
+    }
+
+    /// NoC utilization proxy: flits moved per cycle across both networks.
+    pub fn noc_flits_per_cycle(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            (self.stats.icnt_req.flits + self.stats.icnt_rep.flits) as f64 / c as f64
+        }
+    }
+
+    /// Fraction of the window's stall cycles attributed to `reason`.
+    pub fn stall_fraction(&self, reason: StallReason) -> f64 {
+        self.stats.sm.stalls.fraction(reason)
+    }
+
+    /// Serialize as a standalone JSON object (derived rates plus the raw
+    /// counter delta).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.u64("start_cycle", self.start_cycle)
+            .u64("end_cycle", self.end_cycle)
+            .f64("ipc", self.ipc())
+            .f64("occupancy", self.occupancy())
+            .f64("l1_miss_rate", self.l1_miss_rate())
+            .f64("l2_miss_rate", self.l2_miss_rate())
+            .f64("dram_utilization", self.dram_utilization())
+            .f64("noc_flits_per_cycle", self.noc_flits_per_cycle());
+        w.begin_obj_key("stall_fractions");
+        for reason in StallReason::ALL {
+            w.f64(reason.name(), self.stall_fraction(reason));
+        }
+        w.end_obj();
+        w.raw("stats", &run_stats_json(&self.stats));
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// Interval-sampler state (owned by the device; populated only when
+/// [`crate::GpuConfig::sample_interval_cycles`] is non-zero).
+#[derive(Debug)]
+pub(crate) struct Sampler {
+    /// Sampling period in cycles.
+    pub interval: u64,
+    /// Ring capacity; the oldest sample is dropped (and counted) beyond it.
+    pub capacity: usize,
+    /// Counter snapshot at the last emitted boundary.
+    pub base: RunStats,
+    /// Cycle of the last emitted boundary.
+    pub last_boundary: u64,
+    /// Completed samples, oldest first.
+    pub ring: VecDeque<IntervalSample>,
+    /// Samples evicted from the ring.
+    pub dropped: u64,
+}
+
+impl Sampler {
+    pub fn new(interval: u64, capacity: usize) -> Self {
+        Sampler {
+            interval,
+            capacity: capacity.max(1),
+            base: RunStats::default(),
+            last_boundary: 0,
+            ring: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Close the window `[last_boundary, now)` against snapshot `now_stats`.
+    pub fn close_window(&mut self, now: u64, now_stats: &RunStats) {
+        if now <= self.last_boundary {
+            return;
+        }
+        let delta = now_stats.delta_since(&self.base);
+        self.ring.push_back(IntervalSample {
+            start_cycle: self.last_boundary,
+            end_cycle: now,
+            stats: delta,
+        });
+        if self.ring.len() > self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.base = now_stats.clone();
+        self.last_boundary = now;
+    }
+}
+
+/// Everything the profiler collected over a run, in one machine-readable
+/// bundle: final counters, per-kernel records, interval samples, and the
+/// event trace. Obtained from [`crate::Gpu::take_profile`].
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Final whole-run counters at the time the report was taken.
+    pub stats: RunStats,
+    /// GPU clock in GHz (for cycle→time conversion in exports).
+    pub clock_ghz: f64,
+    /// One record per retired kernel launch, in retire order.
+    pub kernels: Vec<KernelRecord>,
+    /// Interval samples, oldest first.
+    pub samples: Vec<IntervalSample>,
+    /// Samples evicted from the ring before the report was taken.
+    pub samples_dropped: u64,
+    /// The event trace (empty unless tracing was enabled).
+    pub events: Vec<TraceEvent>,
+    /// Events dropped after the trace buffer filled.
+    pub events_dropped: u64,
+}
+
+impl ProfileReport {
+    /// Serialize the full report (stats, kernels, samples, events) as one
+    /// JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.f64("clock_ghz", self.clock_ghz)
+            .raw("stats", &run_stats_json(&self.stats));
+        w.begin_arr_key("kernels");
+        for k in &self.kernels {
+            w.elem_raw(&k.to_json());
+        }
+        w.end_arr();
+        w.begin_arr_key("samples");
+        for s in &self.samples {
+            w.elem_raw(&s.to_json());
+        }
+        w.end_arr();
+        w.u64("samples_dropped", self.samples_dropped);
+        w.begin_arr_key("events");
+        for e in &self.events {
+            w.elem_raw(&e.to_json());
+        }
+        w.end_arr();
+        w.u64("events_dropped", self.events_dropped);
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Render this report's event trace as a Chrome-trace JSON document
+    /// viewable in Perfetto (<https://ui.perfetto.dev>) or
+    /// `chrome://tracing`.
+    pub fn chrome_trace(&self, label: &str) -> String {
+        chrome_trace_json(
+            &[(label.to_string(), self.events.as_slice())],
+            if self.clock_ghz > 0.0 {
+                self.clock_ghz
+            } else {
+                1.0
+            },
+        )
+    }
+}
+
+/// Serialize a [`RunStats`] snapshot (or delta) as a JSON object: every
+/// raw counter, plus a `derived` block with the headline rates.
+pub fn run_stats_json(s: &RunStats) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+
+    w.begin_obj_key("host");
+    w.u64("kernel_launches", s.host.kernel_launches)
+        .u64("pci_count", s.host.pci_count)
+        .u64("pci_cycles", s.host.pci_cycles)
+        .u64("kernel_cycles", s.host.kernel_cycles)
+        .u64("h2d_bytes", s.host.h2d_bytes)
+        .u64("d2h_bytes", s.host.d2h_bytes);
+    w.end_obj();
+
+    w.begin_obj_key("sm");
+    w.u64("cycles", s.sm.cycles)
+        .u64("issued", s.sm.issued)
+        .u64("thread_instrs", s.sm.thread_instrs);
+    w.begin_obj_key("instr_mix");
+    for class in INSTR_CLASSES {
+        w.u64(&class.to_string(), s.sm.class_count(class));
+    }
+    w.end_obj();
+    w.begin_obj_key("mem_space");
+    for space in Space::ALL {
+        w.u64(space.name(), s.sm.space_count(space));
+    }
+    w.end_obj();
+    w.begin_arr_key("occupancy");
+    for i in 0..WARP_SIZE {
+        w.elem_u64(s.sm.occupancy[i]);
+    }
+    w.end_arr();
+    w.begin_obj_key("stalls");
+    for reason in StallReason::ALL {
+        w.u64(reason.name(), s.sm.stalls.get(reason));
+    }
+    w.end_obj();
+    w.u64("bank_conflict_cycles", s.sm.bank_conflict_cycles)
+        .u64("offchip_txns", s.sm.offchip_txns)
+        .u64("ctas_completed", s.sm.ctas_completed)
+        .u64("device_launches", s.sm.device_launches);
+    w.end_obj();
+
+    for (key, c) in [("l1", &s.l1), ("l2", &s.l2)] {
+        w.begin_obj_key(key);
+        w.u64("read_access", c.read_access)
+            .u64("read_hit", c.read_hit)
+            .u64("write_access", c.write_access)
+            .u64("write_hit", c.write_hit)
+            .u64("mshr_merged", c.mshr_merged)
+            .u64("reservation_fails", c.reservation_fails)
+            .u64("writebacks", c.writebacks);
+        w.end_obj();
+    }
+
+    w.begin_obj_key("dram");
+    w.u64("requests", s.dram.requests)
+        .u64("row_hits", s.dram.row_hits)
+        .u64("data_cycles", s.dram.data_cycles)
+        .u64("active_cycles", s.dram.active_cycles)
+        .u64("rejected", s.dram.rejected);
+    w.end_obj();
+
+    for (key, n) in [("icnt_req", &s.icnt_req), ("icnt_rep", &s.icnt_rep)] {
+        w.begin_obj_key(key);
+        w.u64("packets", n.packets)
+            .u64("flits", n.flits)
+            .u64("total_latency", n.total_latency)
+            .u64("queueing", n.queueing);
+        w.end_obj();
+    }
+
+    w.begin_obj_key("derived");
+    w.f64("ipc", s.ipc())
+        .f64("l1_miss_rate", s.l1.miss_rate())
+        .f64("l2_miss_rate", s.l2.miss_rate())
+        .f64("dram_efficiency", s.dram.efficiency())
+        .f64("dram_utilization", s.dram_utilization())
+        .u64("total_cycles", s.total_cycles());
+    w.end_obj();
+
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn sampler_closes_windows_and_telescopes() {
+        let mut s = Sampler::new(100, 8);
+        let mut snap = RunStats::default();
+        snap.sm.issued = 40;
+        s.close_window(100, &snap);
+        snap.sm.issued = 90;
+        s.close_window(200, &snap);
+        // Same boundary again: no empty duplicate.
+        s.close_window(200, &snap);
+        assert_eq!(s.ring.len(), 2);
+        assert_eq!(s.ring[0].stats.sm.issued, 40);
+        assert_eq!(s.ring[1].stats.sm.issued, 50);
+        let total: u64 = s.ring.iter().map(|x| x.stats.sm.issued).sum();
+        assert_eq!(total, snap.sm.issued);
+        assert_eq!(s.ring[1].cycles(), 100);
+    }
+
+    #[test]
+    fn sampler_ring_evicts_oldest() {
+        let mut s = Sampler::new(10, 2);
+        let mut snap = RunStats::default();
+        for i in 1..=4u64 {
+            snap.sm.issued = i * 10;
+            s.close_window(i * 10, &snap);
+        }
+        assert_eq!(s.ring.len(), 2);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.ring[0].start_cycle, 20);
+    }
+
+    #[test]
+    fn run_stats_json_parses_with_all_sections() {
+        let mut s = RunStats::default();
+        s.host.kernel_cycles = 100;
+        s.sm.issued = 250;
+        let v = Json::parse(&run_stats_json(&s)).expect("well-formed");
+        for key in [
+            "host", "sm", "l1", "l2", "dram", "icnt_req", "icnt_rep", "derived",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            v.get("sm")
+                .and_then(|sm| sm.get("issued"))
+                .and_then(Json::as_u64),
+            Some(250)
+        );
+        assert_eq!(
+            v.get("derived")
+                .and_then(|d| d.get("ipc"))
+                .and_then(Json::as_f64),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn profile_report_json_round_trips() {
+        let report = ProfileReport {
+            stats: RunStats::default(),
+            clock_ghz: 1.5,
+            kernels: vec![KernelRecord {
+                grid: 1,
+                kernel: "k".to_string(),
+                kernel_id: 0,
+                ctas: 4,
+                threads_per_cta: 64,
+                parent: None,
+                depth: 0,
+                launch_cycle: 0,
+                start_cycle: 100,
+                retire_cycle: 900,
+                stats: RunStats::default(),
+            }],
+            samples: vec![IntervalSample {
+                start_cycle: 0,
+                end_cycle: 500,
+                stats: RunStats::default(),
+            }],
+            samples_dropped: 0,
+            events: Vec::new(),
+            events_dropped: 0,
+        };
+        let v = Json::parse(&report.to_json()).expect("well-formed");
+        let kernels = v.get("kernels").and_then(Json::as_arr).expect("kernels");
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(
+            kernels[0].get("origin").and_then(Json::as_str),
+            Some("host")
+        );
+        assert_eq!(kernels[0].get("parent"), Some(&Json::Null));
+        let samples = v.get("samples").and_then(Json::as_arr).expect("samples");
+        assert_eq!(
+            samples[0].get("end_cycle").and_then(Json::as_u64),
+            Some(500)
+        );
+        // The chrome trace is also well-formed JSON even when empty.
+        Json::parse(&report.chrome_trace("t")).expect("chrome trace well-formed");
+    }
+}

@@ -42,7 +42,7 @@ impl HostStats {
 }
 
 /// Snapshot of every counter in the machine after a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Host-side counters.
     pub host: HostStats,
@@ -104,6 +104,66 @@ impl RunStats {
         into.active_cycles += from.active_cycles;
         into.rejected += from.rejected;
     }
+
+    /// Field-wise counter delta since an earlier snapshot `base`
+    /// (saturating, so a reset between snapshots yields zeros rather than
+    /// wrapping). This is the primitive behind per-kernel counter scoping
+    /// and the interval sampler: every counter in the result covers exactly
+    /// the window between the two snapshots.
+    pub fn delta_since(&self, base: &RunStats) -> RunStats {
+        RunStats {
+            host: HostStats {
+                kernel_launches: self
+                    .host
+                    .kernel_launches
+                    .saturating_sub(base.host.kernel_launches),
+                pci_count: self.host.pci_count.saturating_sub(base.host.pci_count),
+                pci_cycles: self.host.pci_cycles.saturating_sub(base.host.pci_cycles),
+                kernel_cycles: self
+                    .host
+                    .kernel_cycles
+                    .saturating_sub(base.host.kernel_cycles),
+                h2d_bytes: self.host.h2d_bytes.saturating_sub(base.host.h2d_bytes),
+                d2h_bytes: self.host.d2h_bytes.saturating_sub(base.host.d2h_bytes),
+            },
+            sm: self.sm.delta_since(&base.sm),
+            l1: delta_cache(&self.l1, &base.l1),
+            l2: delta_cache(&self.l2, &base.l2),
+            dram: DramStats {
+                requests: self.dram.requests.saturating_sub(base.dram.requests),
+                row_hits: self.dram.row_hits.saturating_sub(base.dram.row_hits),
+                data_cycles: self.dram.data_cycles.saturating_sub(base.dram.data_cycles),
+                active_cycles: self
+                    .dram
+                    .active_cycles
+                    .saturating_sub(base.dram.active_cycles),
+                rejected: self.dram.rejected.saturating_sub(base.dram.rejected),
+            },
+            icnt_req: delta_icnt(&self.icnt_req, &base.icnt_req),
+            icnt_rep: delta_icnt(&self.icnt_rep, &base.icnt_rep),
+        }
+    }
+}
+
+fn delta_cache(now: &CacheStats, base: &CacheStats) -> CacheStats {
+    CacheStats {
+        read_access: now.read_access.saturating_sub(base.read_access),
+        read_hit: now.read_hit.saturating_sub(base.read_hit),
+        write_access: now.write_access.saturating_sub(base.write_access),
+        write_hit: now.write_hit.saturating_sub(base.write_hit),
+        mshr_merged: now.mshr_merged.saturating_sub(base.mshr_merged),
+        reservation_fails: now.reservation_fails.saturating_sub(base.reservation_fails),
+        writebacks: now.writebacks.saturating_sub(base.writebacks),
+    }
+}
+
+fn delta_icnt(now: &IcntStats, base: &IcntStats) -> IcntStats {
+    IcntStats {
+        packets: now.packets.saturating_sub(base.packets),
+        flits: now.flits.saturating_sub(base.flits),
+        total_latency: now.total_latency.saturating_sub(base.total_latency),
+        queueing: now.queueing.saturating_sub(base.queueing),
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +182,32 @@ mod tests {
         assert_eq!(h.avg_kernel_cycles(), 100.0);
         assert_eq!(h.avg_pci_cycles(), 50.0);
         assert_eq!(HostStats::default().avg_pci_cycles(), 0.0);
+    }
+
+    #[test]
+    fn delta_since_is_windowed_and_saturating() {
+        let mut base = RunStats::default();
+        base.host.pci_count = 2;
+        base.sm.issued = 100;
+        base.l1.read_access = 10;
+        base.dram.requests = 4;
+        base.icnt_req.packets = 7;
+        let mut now = base.clone();
+        now.host.pci_count = 5;
+        now.sm.issued = 260;
+        now.l1.read_access = 25;
+        now.dram.requests = 9;
+        now.icnt_req.packets = 11;
+        let d = now.delta_since(&base);
+        assert_eq!(d.host.pci_count, 3);
+        assert_eq!(d.sm.issued, 160);
+        assert_eq!(d.l1.read_access, 15);
+        assert_eq!(d.dram.requests, 5);
+        assert_eq!(d.icnt_req.packets, 4);
+        // A reset between snapshots saturates to zero instead of wrapping.
+        let z = RunStats::default().delta_since(&base);
+        assert_eq!(z.sm.issued, 0);
+        assert_eq!(z.host.pci_count, 0);
     }
 
     #[test]

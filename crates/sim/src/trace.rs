@@ -1,0 +1,654 @@
+//! Structured event trace: typed device events, pluggable sinks, and a
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON writer.
+//!
+//! Tracing is off by default. Enable the built-in in-memory buffer with
+//! [`crate::GpuConfig::trace`], or install any custom [`TraceSink`] via
+//! [`crate::Gpu::set_trace_sink`]. Every emission site in the device is
+//! guarded by a single "is a sink installed?" branch, so the disabled path
+//! costs one predictable branch and no allocation.
+
+use std::fmt;
+
+use ggpu_isa::FaultKind;
+
+use crate::json::{escape, num, JsonWriter};
+
+/// Direction of a `cudaMemcpy` transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyDir {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+impl fmt::Display for CopyDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CopyDir::H2D => "h2d",
+            CopyDir::D2H => "d2h",
+        })
+    }
+}
+
+/// What happened (the event taxonomy; see DESIGN.md §Observability).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A grid was enqueued from the host (`<<<>>>`).
+    KernelLaunch {
+        /// Grid handle (unique per launch).
+        grid: u64,
+        /// Kernel name.
+        kernel: String,
+        /// CTAs in the grid.
+        ctas: u64,
+        /// Threads per CTA.
+        threads_per_cta: u32,
+    },
+    /// A device-side (CDP) child launch was enqueued.
+    CdpEnqueue {
+        /// Child grid handle.
+        grid: u64,
+        /// Kernel name.
+        kernel: String,
+        /// Parent grid handle.
+        parent: u64,
+        /// Nesting depth of the child (parent depth + 1).
+        depth: u32,
+        /// CTAs in the child grid.
+        ctas: u64,
+        /// Threads per CTA.
+        threads_per_cta: u32,
+    },
+    /// A grid dispatched its first CTA (launch overhead elapsed).
+    KernelStart {
+        /// Grid handle.
+        grid: u64,
+    },
+    /// A grid's last CTA completed.
+    KernelRetire {
+        /// Grid handle.
+        grid: u64,
+    },
+    /// A CDP child retired and unparked its parent's pending-children count.
+    CdpDrain {
+        /// Parent grid handle.
+        parent: u64,
+        /// Child grid handle that drained.
+        child: u64,
+    },
+    /// A `cudaMemcpy`-style PCIe transfer.
+    Memcpy {
+        /// Transfer direction.
+        dir: CopyDir,
+        /// Bytes moved.
+        bytes: u64,
+        /// Modelled PCIe cycles the transfer took.
+        cycles: u64,
+    },
+    /// An L2 line was filled from DRAM (emitted only when
+    /// [`crate::GpuConfig::trace_cache_fills`] is set — high frequency).
+    CacheFill {
+        /// Memory partition of the filled slice.
+        partition: u64,
+        /// Byte address of the filled line.
+        addr: u64,
+    },
+    /// A guest fault put the device into the sticky fault state.
+    Fault {
+        /// Architectural fault class.
+        kind: FaultKind,
+        /// Name of the faulting kernel.
+        kernel: String,
+    },
+    /// The forward-progress watchdog fired.
+    Deadlock {
+        /// Consecutive cycles without forward progress.
+        stalled_for: u64,
+    },
+}
+
+impl TraceEventKind {
+    /// Short machine-readable tag for this event kind.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEventKind::KernelLaunch { .. } => "kernel_launch",
+            TraceEventKind::CdpEnqueue { .. } => "cdp_enqueue",
+            TraceEventKind::KernelStart { .. } => "kernel_start",
+            TraceEventKind::KernelRetire { .. } => "kernel_retire",
+            TraceEventKind::CdpDrain { .. } => "cdp_drain",
+            TraceEventKind::Memcpy { .. } => "memcpy",
+            TraceEventKind::CacheFill { .. } => "cache_fill",
+            TraceEventKind::Fault { .. } => "fault",
+            TraceEventKind::Deadlock { .. } => "deadlock",
+        }
+    }
+
+    /// Whether this event records a terminal device error. Terminal events
+    /// bypass the trace-buffer capacity so a truncated trace still ends
+    /// with its fault.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            TraceEventKind::Fault { .. } | TraceEventKind::Deadlock { .. }
+        )
+    }
+}
+
+/// One timestamped device event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Device cycle at which the event was recorded.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// Serialize as a standalone JSON object (the structured export form).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.u64("cycle", self.cycle);
+        w.str("event", self.kind.tag());
+        match &self.kind {
+            TraceEventKind::KernelLaunch {
+                grid,
+                kernel,
+                ctas,
+                threads_per_cta,
+            } => {
+                w.u64("grid", *grid)
+                    .str("kernel", kernel)
+                    .u64("ctas", *ctas)
+                    .u64("threads_per_cta", *threads_per_cta as u64);
+            }
+            TraceEventKind::CdpEnqueue {
+                grid,
+                kernel,
+                parent,
+                depth,
+                ctas,
+                threads_per_cta,
+            } => {
+                w.u64("grid", *grid)
+                    .str("kernel", kernel)
+                    .u64("parent", *parent)
+                    .u64("depth", *depth as u64)
+                    .u64("ctas", *ctas)
+                    .u64("threads_per_cta", *threads_per_cta as u64);
+            }
+            TraceEventKind::KernelStart { grid } | TraceEventKind::KernelRetire { grid } => {
+                w.u64("grid", *grid);
+            }
+            TraceEventKind::CdpDrain { parent, child } => {
+                w.u64("parent", *parent).u64("child", *child);
+            }
+            TraceEventKind::Memcpy { dir, bytes, cycles } => {
+                w.str("dir", &dir.to_string())
+                    .u64("bytes", *bytes)
+                    .u64("cycles", *cycles);
+            }
+            TraceEventKind::CacheFill { partition, addr } => {
+                w.u64("partition", *partition).u64("addr", *addr);
+            }
+            TraceEventKind::Fault { kind, kernel } => {
+                w.str("kind", &kind.to_string()).str("kernel", kernel);
+            }
+            TraceEventKind::Deadlock { stalled_for } => {
+                w.u64("stalled_for", *stalled_for);
+            }
+        }
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// A consumer of trace events.
+///
+/// Implementations must be cheap per event; the device calls
+/// [`TraceSink::event`] from the cycle loop whenever a sink is installed.
+pub trait TraceSink: fmt::Debug {
+    /// Observe one event.
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// The built-in in-memory sink: a capacity-bounded event log.
+///
+/// When the buffer is full, further events are dropped (and counted) —
+/// except terminal fault/deadlock events, which are always retained so a
+/// truncated timeline still ends with its fault.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Events recorded so far, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped on the floor after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Take the recorded events, leaving the buffer empty.
+    pub fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+        (
+            std::mem::take(&mut self.events),
+            std::mem::take(&mut self.dropped),
+        )
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn event(&mut self, ev: &TraceEvent) {
+        if self.events.len() < self.capacity || ev.kind.is_terminal() {
+            self.events.push(ev.clone());
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Convert device cycles to Chrome-trace microseconds at `clock_ghz`.
+fn cycles_to_us(cycles: u64, clock_ghz: f64) -> f64 {
+    cycles as f64 / (clock_ghz * 1000.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn chrome_event(
+    out: &mut Vec<String>,
+    name: &str,
+    ph: char,
+    ts_us: f64,
+    dur_us: Option<f64>,
+    pid: usize,
+    tid: u64,
+    args: &[(&str, String)],
+) {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        escape(name),
+        ph,
+        num(ts_us),
+        pid,
+        tid
+    ));
+    if let Some(d) = dur_us {
+        s.push_str(&format!(",\"dur\":{}", num(d.max(0.001))));
+    }
+    if ph == 'i' {
+        // Instant events: global scope so Perfetto draws a full-height line.
+        s.push_str(",\"s\":\"g\"");
+    }
+    if !args.is_empty() {
+        s.push_str(",\"args\":{");
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape(k), v));
+        }
+        s.push('}');
+    }
+    s.push('}');
+    out.push(s);
+}
+
+/// Emit Chrome-trace events for one device's event log under process id
+/// `pid`, appending serialized event objects to `out`.
+///
+/// Track (tid) layout inside the process: tid 0 is the host (memcpy)
+/// track, tid `1 + depth` holds kernels at CDP nesting `depth`, so parent
+/// and child launches land on adjacent rows. Faults and watchdog fires are
+/// instant events.
+pub fn chrome_trace_events(
+    pid: usize,
+    process_name: &str,
+    events: &[TraceEvent],
+    clock_ghz: f64,
+    out: &mut Vec<String>,
+) {
+    chrome_event(
+        out,
+        "process_name",
+        'M',
+        0.0,
+        None,
+        pid,
+        0,
+        &[("name", format!("\"{}\"", escape(process_name)))],
+    );
+    chrome_event(
+        out,
+        "thread_name",
+        'M',
+        0.0,
+        None,
+        pid,
+        0,
+        &[("name", "\"host (memcpy)\"".to_string())],
+    );
+
+    // Launch metadata and start cycles, keyed by grid handle.
+    struct Open {
+        name: String,
+        depth: u32,
+        ctas: u64,
+        threads: u32,
+        start: Option<u64>,
+        launch_cycle: u64,
+    }
+    let mut open: Vec<(u64, Open)> = Vec::new();
+    let find = |open: &mut Vec<(u64, Open)>, grid: u64| -> Option<usize> {
+        open.iter().position(|(g, _)| *g == grid)
+    };
+    let mut max_depth = 0u32;
+
+    for ev in events {
+        let ts = cycles_to_us(ev.cycle, clock_ghz);
+        match &ev.kind {
+            TraceEventKind::KernelLaunch {
+                grid,
+                kernel,
+                ctas,
+                threads_per_cta,
+            } => {
+                open.push((
+                    *grid,
+                    Open {
+                        name: kernel.clone(),
+                        depth: 0,
+                        ctas: *ctas,
+                        threads: *threads_per_cta,
+                        start: None,
+                        launch_cycle: ev.cycle,
+                    },
+                ));
+            }
+            TraceEventKind::CdpEnqueue {
+                grid,
+                kernel,
+                depth,
+                ctas,
+                threads_per_cta,
+                ..
+            } => {
+                max_depth = max_depth.max(*depth);
+                open.push((
+                    *grid,
+                    Open {
+                        name: kernel.clone(),
+                        depth: *depth,
+                        ctas: *ctas,
+                        threads: *threads_per_cta,
+                        start: None,
+                        launch_cycle: ev.cycle,
+                    },
+                ));
+            }
+            TraceEventKind::KernelStart { grid } => {
+                if let Some(i) = find(&mut open, *grid) {
+                    open[i].1.start = Some(ev.cycle);
+                }
+            }
+            TraceEventKind::KernelRetire { grid } => {
+                if let Some(i) = find(&mut open, *grid) {
+                    let (g, o) = open.remove(i);
+                    let start = o.start.unwrap_or(o.launch_cycle);
+                    chrome_event(
+                        out,
+                        &format!("{} #{g}", o.name),
+                        'X',
+                        cycles_to_us(start, clock_ghz),
+                        Some(cycles_to_us(ev.cycle.saturating_sub(start), clock_ghz)),
+                        pid,
+                        1 + o.depth as u64,
+                        &[
+                            ("grid", format!("{g}")),
+                            ("ctas", format!("{}", o.ctas)),
+                            ("threads_per_cta", format!("{}", o.threads)),
+                            ("depth", format!("{}", o.depth)),
+                            ("launch_cycle", format!("{}", o.launch_cycle)),
+                            ("retire_cycle", format!("{}", ev.cycle)),
+                        ],
+                    );
+                }
+            }
+            TraceEventKind::CdpDrain { .. } => {}
+            TraceEventKind::Memcpy { dir, bytes, cycles } => {
+                chrome_event(
+                    out,
+                    &format!("memcpy_{dir}"),
+                    'X',
+                    ts,
+                    Some(cycles_to_us(*cycles, clock_ghz)),
+                    pid,
+                    0,
+                    &[("bytes", format!("{bytes}"))],
+                );
+            }
+            TraceEventKind::CacheFill { partition, addr } => {
+                chrome_event(
+                    out,
+                    "l2_fill",
+                    'i',
+                    ts,
+                    None,
+                    pid,
+                    0,
+                    &[
+                        ("partition", format!("{partition}")),
+                        ("addr", format!("{addr}")),
+                    ],
+                );
+            }
+            TraceEventKind::Fault { kind, kernel } => {
+                chrome_event(
+                    out,
+                    &format!("FAULT: {kind}"),
+                    'i',
+                    ts,
+                    None,
+                    pid,
+                    0,
+                    &[("kernel", format!("\"{}\"", escape(kernel)))],
+                );
+            }
+            TraceEventKind::Deadlock { stalled_for } => {
+                chrome_event(
+                    out,
+                    "DEADLOCK (watchdog)",
+                    'i',
+                    ts,
+                    None,
+                    pid,
+                    0,
+                    &[("stalled_for", format!("{stalled_for}"))],
+                );
+            }
+        }
+    }
+
+    // A grid still open at the end of the log (fault/deadlock killed it)
+    // renders as an instant so the timeline shows where it got to.
+    for (g, o) in open {
+        chrome_event(
+            out,
+            &format!("{} #{g} (unfinished)", o.name),
+            'i',
+            cycles_to_us(o.start.unwrap_or(o.launch_cycle), clock_ghz),
+            None,
+            pid,
+            1 + o.depth as u64,
+            &[("grid", format!("{g}"))],
+        );
+    }
+
+    for depth in 0..=max_depth {
+        chrome_event(
+            out,
+            "thread_name",
+            'M',
+            0.0,
+            None,
+            pid,
+            1 + depth as u64,
+            &[(
+                "name",
+                format!(
+                    "\"kernels depth {depth}{}\"",
+                    if depth == 0 { " (host)" } else { " (CDP)" }
+                ),
+            )],
+        );
+    }
+}
+
+/// Render one or more `(label, events)` logs as a complete Chrome-trace
+/// JSON document (one Perfetto "process" per log). Load the result at
+/// <https://ui.perfetto.dev> or `chrome://tracing`.
+pub fn chrome_trace_json(logs: &[(String, &[TraceEvent])], clock_ghz: f64) -> String {
+    let mut events = Vec::new();
+    for (pid, (label, log)) in logs.iter().enumerate() {
+        chrome_trace_events(pid, label, log, clock_ghz, &mut events);
+    }
+    let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    s.push_str(&events.join(","));
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn ev(cycle: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent { cycle, kind }
+    }
+
+    #[test]
+    fn buffer_caps_and_keeps_terminal_events() {
+        let mut b = TraceBuffer::new(2);
+        for i in 0..5 {
+            b.event(&ev(i, TraceEventKind::KernelStart { grid: i }));
+        }
+        b.event(&ev(9, TraceEventKind::Deadlock { stalled_for: 100 }));
+        assert_eq!(b.events().len(), 3);
+        assert_eq!(b.dropped(), 3);
+        assert!(b.events().last().expect("non-empty").kind.is_terminal());
+    }
+
+    #[test]
+    fn event_json_round_trips() {
+        let e = ev(
+            77,
+            TraceEventKind::CdpEnqueue {
+                grid: 3,
+                kernel: "child \"k\"".to_string(),
+                parent: 1,
+                depth: 1,
+                ctas: 2,
+                threads_per_cta: 32,
+            },
+        );
+        let v = Json::parse(&e.to_json()).expect("well-formed");
+        assert_eq!(v.get("cycle").and_then(Json::as_u64), Some(77));
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("cdp_enqueue"));
+        assert_eq!(v.get("kernel").and_then(Json::as_str), Some("child \"k\""));
+        assert_eq!(v.get("parent").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_launch_and_retire() {
+        let log = vec![
+            ev(
+                0,
+                TraceEventKind::KernelLaunch {
+                    grid: 1,
+                    kernel: "k".to_string(),
+                    ctas: 4,
+                    threads_per_cta: 64,
+                },
+            ),
+            ev(100, TraceEventKind::KernelStart { grid: 1 }),
+            ev(
+                150,
+                TraceEventKind::Memcpy {
+                    dir: CopyDir::H2D,
+                    bytes: 64,
+                    cycles: 10,
+                },
+            ),
+            ev(900, TraceEventKind::KernelRetire { grid: 1 }),
+        ];
+        let json = chrome_trace_json(&[("dev".to_string(), log.as_slice())], 1.0);
+        let v = Json::parse(&json).expect("well-formed chrome trace");
+        let evs = v
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        let kernel = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("k #1"))
+            .expect("kernel slice present");
+        assert_eq!(kernel.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(kernel.get("ts").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(kernel.get("dur").and_then(Json::as_f64), Some(0.8));
+        assert!(evs
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("memcpy_h2d")));
+    }
+
+    #[test]
+    fn chrome_trace_marks_unfinished_grids_and_faults() {
+        let log = vec![
+            ev(
+                0,
+                TraceEventKind::KernelLaunch {
+                    grid: 1,
+                    kernel: "bad".to_string(),
+                    ctas: 1,
+                    threads_per_cta: 32,
+                },
+            ),
+            ev(10, TraceEventKind::KernelStart { grid: 1 }),
+            ev(
+                50,
+                TraceEventKind::Fault {
+                    kind: ggpu_isa::FaultKind::IllegalAddress,
+                    kernel: "bad".to_string(),
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&[("dev".to_string(), log.as_slice())], 1.5);
+        let v = Json::parse(&json).expect("well-formed");
+        let evs = v.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        assert!(evs.iter().any(|e| {
+            e.get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.starts_with("FAULT:"))
+        }));
+        assert!(evs.iter().any(|e| {
+            e.get("name")
+                .and_then(Json::as_str)
+                .is_some_and(|n| n.contains("unfinished"))
+        }));
+    }
+}

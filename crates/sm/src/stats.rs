@@ -93,6 +93,16 @@ impl StallBreakdown {
             self.0[i] += other.0[i];
         }
     }
+
+    /// Counter delta since `base` (per-reason saturating subtraction), for
+    /// interval sampling and per-kernel counter scoping.
+    pub fn delta_since(&self, base: &StallBreakdown) -> StallBreakdown {
+        let mut d = StallBreakdown::default();
+        for i in 0..6 {
+            d.0[i] = self.0[i].saturating_sub(base.0[i]);
+        }
+        d
+    }
 }
 
 fn class_index(c: InstrClass) -> usize {
@@ -169,6 +179,68 @@ impl SmStats {
     /// Memory-instruction count for one space.
     pub fn space_count(&self, space: Space) -> u64 {
         self.mem_space[space_index(space)]
+    }
+
+    /// Fraction of issued instructions in `class`; zero when nothing issued.
+    /// Over all classes the fractions sum to exactly 1.0 (or 0.0 when idle).
+    pub fn class_fraction(&self, class: InstrClass) -> f64 {
+        let total: u64 = self.instr_mix.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.instr_mix[class_index(class)] as f64 / total as f64
+        }
+    }
+
+    /// Fraction of memory instructions touching `space`; zero when no
+    /// memory instructions were issued.
+    pub fn space_fraction(&self, space: Space) -> f64 {
+        let total: u64 = self.mem_space.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.mem_space[space_index(space)] as f64 / total as f64
+        }
+    }
+
+    /// Mean active lanes per issued warp-instruction; zero when idle.
+    pub fn avg_active_lanes(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.thread_instrs as f64 / self.issued as f64
+        }
+    }
+
+    /// Counter delta since `base` (field-wise saturating subtraction).
+    ///
+    /// `cycles` subtracts directly: merged SM cycles are a max over SMs and
+    /// therefore monotonically non-decreasing over a run, so the delta is
+    /// the cycles elapsed in the window.
+    pub fn delta_since(&self, base: &SmStats) -> SmStats {
+        let mut d = SmStats {
+            cycles: self.cycles.saturating_sub(base.cycles),
+            issued: self.issued.saturating_sub(base.issued),
+            thread_instrs: self.thread_instrs.saturating_sub(base.thread_instrs),
+            stalls: self.stalls.delta_since(&base.stalls),
+            bank_conflict_cycles: self
+                .bank_conflict_cycles
+                .saturating_sub(base.bank_conflict_cycles),
+            offchip_txns: self.offchip_txns.saturating_sub(base.offchip_txns),
+            ctas_completed: self.ctas_completed.saturating_sub(base.ctas_completed),
+            device_launches: self.device_launches.saturating_sub(base.device_launches),
+            ..SmStats::default()
+        };
+        for i in 0..5 {
+            d.instr_mix[i] = self.instr_mix[i].saturating_sub(base.instr_mix[i]);
+        }
+        for i in 0..6 {
+            d.mem_space[i] = self.mem_space[i].saturating_sub(base.mem_space[i]);
+        }
+        for i in 0..WARP_SIZE {
+            d.occupancy[i] = self.occupancy[i].saturating_sub(base.occupancy[i]);
+        }
+        d
     }
 
     /// Instructions per cycle (warp-instructions / SM cycles).
@@ -274,6 +346,56 @@ mod tests {
         assert_eq!(a.cycles, 150);
         assert_eq!(a.issued, 2);
         assert_eq!(a.stalls.get(StallReason::MemLatency), 10);
+    }
+
+    #[test]
+    fn delta_since_recovers_window() {
+        let mut base = SmStats::default();
+        base.record_issue(InstrClass::Int, 32);
+        base.stalls.add(StallReason::MemLatency, 5);
+        base.cycles = 100;
+        let mut now = base.clone();
+        now.record_issue(InstrClass::Fp, 16);
+        now.record_mem(Space::Shared);
+        now.stalls.add(StallReason::Barrier, 3);
+        now.cycles = 180;
+        let d = now.delta_since(&base);
+        assert_eq!(d.cycles, 80);
+        assert_eq!(d.issued, 1);
+        assert_eq!(d.thread_instrs, 16);
+        assert_eq!(d.class_count(InstrClass::Fp), 1);
+        assert_eq!(d.class_count(InstrClass::Int), 0);
+        assert_eq!(d.space_count(Space::Shared), 1);
+        assert_eq!(d.stalls.get(StallReason::Barrier), 3);
+        assert_eq!(d.stalls.get(StallReason::MemLatency), 0);
+        assert_eq!(d.occupancy[15], 1);
+        assert_eq!(d.occupancy[31], 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut s = SmStats::default();
+        assert_eq!(s.class_fraction(InstrClass::Int), 0.0);
+        assert_eq!(s.space_fraction(Space::Global), 0.0);
+        s.record_issue(InstrClass::Int, 32);
+        s.record_issue(InstrClass::Fp, 32);
+        s.record_issue(InstrClass::LdSt, 8);
+        s.record_mem(Space::Global);
+        s.record_mem(Space::Shared);
+        let class_sum: f64 = [
+            InstrClass::Int,
+            InstrClass::Fp,
+            InstrClass::LdSt,
+            InstrClass::Sfu,
+            InstrClass::Ctrl,
+        ]
+        .iter()
+        .map(|&c| s.class_fraction(c))
+        .sum();
+        assert!((class_sum - 1.0).abs() < 1e-12);
+        let space_sum: f64 = Space::ALL.iter().map(|&sp| s.space_fraction(sp)).sum();
+        assert!((space_sum - 1.0).abs() < 1e-12);
+        assert!((s.avg_active_lanes() - 24.0).abs() < 1e-12);
     }
 
     #[test]

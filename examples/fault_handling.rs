@@ -4,12 +4,14 @@
 //! Shows (1) an out-of-bounds store trapping with full context, (2) the
 //! device staying usable after `reset_fault`, (3) the forward-progress
 //! watchdog converting an injected hang into a deadlock report, and
-//! (4) non-sticky allocation/launch validation errors.
+//! (4) non-sticky allocation/launch validation errors. With event tracing
+//! enabled, both failures also land in the structured timeline, which this
+//! example exports as a Perfetto-loadable Chrome trace.
 //!
 //! Run with: `cargo run --release --example fault_handling`
 
 use ggpu_isa::{KernelBuilder, KernelId, LaunchDims, Operand, Program, Space, Width};
-use ggpu_sim::{FaultPlan, Gpu, GpuConfig};
+use ggpu_sim::{chrome_trace_json, FaultPlan, Gpu, GpuConfig, TraceEvent, TraceEventKind};
 
 fn main() {
     // Kernel 0 stores 1 MiB past its buffer; kernel 1 behaves.
@@ -32,7 +34,10 @@ fn main() {
     b.exit();
     let good = program.add(b.finish());
 
-    let mut gpu = Gpu::new(program, GpuConfig::test_small());
+    let mut config = GpuConfig::test_small();
+    config.trace = true;
+    let clock_ghz = config.clock_ghz;
+    let mut gpu = Gpu::new(program, config);
     let buf = gpu.malloc(64 * 8);
 
     println!("1. launching a kernel with an out-of-bounds store...");
@@ -40,6 +45,14 @@ fn main() {
         Ok(_) => unreachable!("the store must trap"),
         Err(e) => println!("   -> {e}"),
     }
+    let fault_log: Vec<TraceEvent> = gpu.trace_events().to_vec();
+    assert!(
+        matches!(
+            fault_log.last().map(|ev| &ev.kind),
+            Some(TraceEventKind::Fault { .. })
+        ),
+        "the event timeline must end in the guest fault"
+    );
 
     println!("2. the fault is sticky until reset_fault():");
     println!("   try_malloc  -> {}", gpu.try_malloc(8).unwrap_err());
@@ -60,6 +73,7 @@ fn main() {
     let mut p = Program::new();
     let kid = p.add(b.finish());
     let mut config = GpuConfig::test_small();
+    config.trace = true;
     config.watchdog_cycles = 2_000;
     config.fault_plan = FaultPlan {
         drop_reply: Some(0),
@@ -71,6 +85,14 @@ fn main() {
         Ok(_) => unreachable!("the lost reply must hang the warp"),
         Err(e) => print!("   -> {e}"),
     }
+    let deadlock_log: Vec<TraceEvent> = gpu.trace_events().to_vec();
+    assert!(
+        matches!(
+            deadlock_log.last().map(|ev| &ev.kind),
+            Some(TraceEventKind::Deadlock { .. })
+        ),
+        "the event timeline must end in the watchdog deadlock"
+    );
 
     println!("4. allocation and launch validation (not sticky):");
     let mut config = GpuConfig::test_small();
@@ -86,4 +108,15 @@ fn main() {
             .unwrap_err()
     );
     println!("   device still healthy: fault = {:?}", gpu.fault());
+
+    println!("5. exporting both failure timelines as a Chrome trace...");
+    let logs = vec![
+        ("oob-fault".to_string(), fault_log.as_slice()),
+        ("watchdog-deadlock".to_string(), deadlock_log.as_slice()),
+    ];
+    let doc = chrome_trace_json(&logs, clock_ghz);
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/fault_trace.json";
+    std::fs::write(path, doc).expect("write trace");
+    println!("   wrote {path} — load it at https://ui.perfetto.dev");
 }
