@@ -1,0 +1,135 @@
+//! Engine throughput: simulated cycles per wall-clock second, single- vs
+//! multi-threaded, exported to `results/bench_engine.json`.
+//!
+//! ```text
+//! cargo bench -p ggpu-bench --bench engine_throughput
+//! GGPU_BENCH_QUICK=1 cargo bench -p ggpu-bench --bench engine_throughput  # CI
+//! ```
+//!
+//! The headline number is the cycles/sec ratio of `sim_threads = N` over
+//! `sim_threads = 1`. The JSON records `host_parallelism` alongside it:
+//! on a single-core host the barrier protocol still runs (and must stay
+//! correct), but no wall-clock speedup is possible, so read the ratio
+//! together with that field.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use ggpu_core::{benchmark, GpuConfig, Scale};
+use ggpu_sim::json::JsonWriter;
+
+/// Worker-thread count for the multi-threaded measurement.
+const PARALLEL_THREADS: usize = 4;
+
+fn quick_mode() -> bool {
+    std::env::var_os("GGPU_BENCH_QUICK").is_some()
+}
+
+/// A wider-than-`test_small` device so the SM phase dominates and sharding
+/// has something to chew on.
+fn engine_cfg(threads: usize) -> GpuConfig {
+    GpuConfig {
+        n_sms: 16,
+        ..GpuConfig::test_small()
+    }
+    .with_sim_threads(threads)
+}
+
+/// Run the probe workload once; returns simulated kernel cycles.
+fn run_workload(scale: Scale, threads: usize) -> u64 {
+    let config = engine_cfg(threads);
+    let b = benchmark(scale, "SW").expect("SW is registered");
+    let r = b.run(&config, false);
+    assert!(r.verified, "probe workload must verify");
+    r.kernel_cycles
+}
+
+/// Measure simulated cycles per wall-second at `threads` workers.
+fn measure(scale: Scale, threads: usize, iters: u32) -> (u64, f64) {
+    let t0 = Instant::now();
+    let mut cycles = 0u64;
+    for _ in 0..iters {
+        cycles += run_workload(scale, threads);
+    }
+    (cycles, t0.elapsed().as_secs_f64())
+}
+
+fn export_json(scale: Scale, iters: u32) {
+    let (cycles_1, secs_1) = measure(scale, 1, iters);
+    let (cycles_n, secs_n) = measure(scale, PARALLEL_THREADS, iters);
+    let rate_1 = cycles_1 as f64 / secs_1.max(1e-9);
+    let rate_n = cycles_n as f64 / secs_n.max(1e-9);
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut w = JsonWriter::new();
+    w.begin_obj()
+        .str("workload", "SW")
+        .str(
+            "scale",
+            match scale {
+                Scale::Tiny => "tiny",
+                Scale::Small => "small",
+                Scale::Paper => "paper",
+            },
+        )
+        .u64("iterations", iters as u64)
+        .u64("host_parallelism", host as u64)
+        .u64("sim_threads_parallel", PARALLEL_THREADS as u64)
+        .u64("simulated_cycles_per_run", cycles_1 / iters as u64)
+        .f64("cycles_per_sec_1_thread", rate_1)
+        .f64("cycles_per_sec_n_threads", rate_n)
+        .f64("speedup_n_over_1", rate_n / rate_1.max(1e-9))
+        .end_obj();
+    let doc = w.finish();
+
+    // `cargo bench` sets the cwd to the package root, so resolve the
+    // default `results/` against the workspace root instead.
+    let dir = std::env::var_os("GGPU_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("bench_engine.json");
+    match std::fs::write(&path, &doc) {
+        Ok(()) => println!(
+            "[wrote {}] 1-thread {:.0} cyc/s, {}-thread {:.0} cyc/s (x{:.2}, host parallelism {})",
+            path.display(),
+            rate_1,
+            PARALLEL_THREADS,
+            rate_n,
+            rate_n / rate_1.max(1e-9),
+            host
+        ),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let scale = if quick_mode() {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(if quick_mode() { 1 } else { 3 });
+    for threads in [1usize, PARALLEL_THREADS] {
+        g.bench_function(format!("sw_{threads}_threads"), |bch| {
+            bch.iter(|| run_workload(scale, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+
+fn main() {
+    benches();
+    let (scale, iters) = if quick_mode() {
+        (Scale::Tiny, 1)
+    } else {
+        (Scale::Small, 3)
+    };
+    export_json(scale, iters);
+}

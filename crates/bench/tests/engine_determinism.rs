@@ -1,0 +1,140 @@
+//! The engine's determinism contract: for any `sim_threads`, a run is
+//! **bit-identical** — same counters, same per-kernel records, same interval
+//! samples, same event trace, same faults — to the single-threaded run.
+//!
+//! Exercised over real suite benchmarks (including a CDP one, so device-side
+//! launches cross thread shards) and over a fault-injection run, where the
+//! deadlock report must also be identical.
+
+use ggpu_core::{GpuConfig, RunStats, Scale, SuiteRunner};
+use ggpu_isa::{KernelBuilder, LaunchDims, Operand, Program, Space, Width};
+use ggpu_sim::{FaultPlan, Gpu, IntervalSample, KernelRecord, SimError, TraceEvent};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Profiling-heavy configuration so the comparison covers every observable
+/// surface: counters, per-kernel records, interval samples, and the trace.
+fn profiled_cfg(threads: usize) -> GpuConfig {
+    let mut cfg = GpuConfig::test_small().with_sim_threads(threads);
+    cfg.trace = true;
+    cfg.sample_interval_cycles = 512;
+    cfg
+}
+
+/// Everything observable from one benchmark run.
+struct Observed {
+    stats: RunStats,
+    kernel_cycles: u64,
+    kernels: Vec<KernelRecord>,
+    samples: Vec<IntervalSample>,
+    events: Vec<TraceEvent>,
+}
+
+fn run_bench(abbrev: &str, cdp: bool, threads: usize) -> Observed {
+    let runner = SuiteRunner::new(Scale::Tiny).with_config(profiled_cfg(threads));
+    let r = runner.run_one(abbrev, cdp);
+    assert!(r.verified, "{abbrev} must verify at sim_threads={threads}");
+    let p = *r.profile.expect("profiling was enabled");
+    Observed {
+        stats: r.stats,
+        kernel_cycles: r.kernel_cycles,
+        kernels: p.kernels,
+        samples: p.samples,
+        events: p.events,
+    }
+}
+
+#[test]
+fn suite_benchmarks_are_bit_identical_across_thread_counts() {
+    // SW: plain data-parallel DP. NvB: binning + search, different memory
+    // shape. STAR with CDP: the orchestrator launches children from the
+    // device, so grid spawn/retire ordering crosses SM shards.
+    for (abbrev, cdp) in [("SW", false), ("NvB", false), ("STAR", true)] {
+        let base = run_bench(abbrev, cdp, THREAD_COUNTS[0]);
+        for &threads in &THREAD_COUNTS[1..] {
+            let other = run_bench(abbrev, cdp, threads);
+            assert_eq!(
+                base.stats, other.stats,
+                "{abbrev}: RunStats diverge at sim_threads={threads}"
+            );
+            assert_eq!(
+                base.kernel_cycles, other.kernel_cycles,
+                "{abbrev}: cycle count diverges at sim_threads={threads}"
+            );
+            assert_eq!(
+                base.kernels, other.kernels,
+                "{abbrev}: per-kernel records diverge at sim_threads={threads}"
+            );
+            assert_eq!(
+                base.samples, other.samples,
+                "{abbrev}: interval samples diverge at sim_threads={threads}"
+            );
+            assert_eq!(
+                base.events, other.events,
+                "{abbrev}: event trace diverges at sim_threads={threads}"
+            );
+        }
+    }
+}
+
+/// Kernel: load through global memory, then store the value back — blocks a
+/// warp on the memory path so a dropped reply hangs it.
+fn loader_program() -> Program {
+    let mut b = KernelBuilder::new("loader");
+    let src = b.reg();
+    b.ld_param(src, 0);
+    let v = b.reg();
+    b.ld(Space::Global, Width::B64, v, src, 0);
+    b.st(Space::Global, Width::B64, Operand::reg(v), src, 8);
+    b.exit();
+    let mut p = Program::new();
+    p.add(b.finish());
+    p
+}
+
+fn run_fault_injected(threads: usize) -> (SimError, RunStats, u64) {
+    let mut config = GpuConfig::test_small().with_sim_threads(threads);
+    config.watchdog_cycles = 2_000;
+    config.fault_plan = FaultPlan {
+        drop_reply: Some(0),
+        ..FaultPlan::default()
+    };
+    let mut gpu = Gpu::new(loader_program(), config);
+    let buf = gpu.malloc(256);
+    let kid = ggpu_isa::KernelId(0);
+    let err = gpu
+        .try_run_kernel(kid, LaunchDims::linear(4, 64), &[buf.0])
+        .expect_err("dropped reply must deadlock");
+    (err, gpu.stats(), gpu.cycle())
+}
+
+#[test]
+fn fault_injection_is_bit_identical_across_thread_counts() {
+    let (base_err, base_stats, base_cycle) = run_fault_injected(THREAD_COUNTS[0]);
+    assert!(matches!(base_err, SimError::Deadlock(_)), "{base_err}");
+    for &threads in &THREAD_COUNTS[1..] {
+        let (err, stats, cycle) = run_fault_injected(threads);
+        assert_eq!(
+            base_err, err,
+            "deadlock report diverges at sim_threads={threads}"
+        );
+        assert_eq!(
+            base_stats, stats,
+            "post-fault stats diverge at sim_threads={threads}"
+        );
+        assert_eq!(
+            base_cycle, cycle,
+            "fault cycle diverges at sim_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_thread_count_clamps_and_matches() {
+    // More workers than SMs: the engine clamps to the lane count and the
+    // run still matches single-threaded bit-for-bit.
+    let base = run_bench("SW", false, 1);
+    let over = run_bench("SW", false, 64);
+    assert_eq!(base.stats, over.stats);
+    assert_eq!(base.events, over.events);
+}

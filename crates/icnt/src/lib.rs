@@ -34,7 +34,70 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
+
+/// Deterministic timestamped in-flight packet store.
+///
+/// The simulator models the network as a flow: [`Icnt::send`] resolves a
+/// packet to a delivery time, and the packet then sits in a
+/// `DeliveryQueue` until that cycle arrives. Items delivered at the same
+/// cycle pop in insertion order (a monotone sequence number breaks ties),
+/// which is what makes event delivery — and therefore the whole engine —
+/// deterministic regardless of how the producing SMs were scheduled.
+#[derive(Debug, Clone)]
+pub struct DeliveryQueue<T> {
+    heap: BinaryHeap<Reverse<(u64, u64, T)>>,
+    seq: u64,
+}
+
+impl<T: Ord> DeliveryQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DeliveryQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `item` for delivery at `time`.
+    pub fn push(&mut self, time: u64, item: T) {
+        self.seq += 1;
+        self.heap.push(Reverse((time, self.seq, item)));
+    }
+
+    /// Pop the next item due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: u64) -> Option<T> {
+        match self.heap.peek() {
+            Some(Reverse((t, _, _))) if *t <= now => {
+                self.heap.pop().map(|Reverse((_, _, item))| item)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of items in flight.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every in-flight item (device halt).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T: Ord> Default for DeliveryQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Network topologies from Table II of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -348,6 +411,31 @@ impl Icnt {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delivery_queue_orders_by_time_then_insertion() {
+        let mut q: DeliveryQueue<&str> = DeliveryQueue::new();
+        q.push(5, "late");
+        q.push(3, "early-a");
+        q.push(3, "early-b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop_due(2), None);
+        assert_eq!(q.pop_due(3), Some("early-a"));
+        assert_eq!(q.pop_due(3), Some("early-b"));
+        assert_eq!(q.pop_due(4), None);
+        assert_eq!(q.pop_due(5), Some("late"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delivery_queue_clear_drops_everything() {
+        let mut q: DeliveryQueue<u32> = DeliveryQueue::default();
+        q.push(1, 7);
+        q.push(2, 8);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop_due(u64::MAX), None);
+    }
 
     fn net(topology: Topology) -> Icnt {
         Icnt::new(

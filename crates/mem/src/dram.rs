@@ -1,6 +1,8 @@
 //! DRAM channel model with open-row tracking and pluggable request
 //! schedulers (Figures 16-18 of the paper).
 
+use std::collections::VecDeque;
+
 /// Request scheduling discipline of the memory controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DramScheduler {
@@ -98,7 +100,7 @@ impl DramStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct PendingReq {
     id: u64,
     addr: u64,
@@ -117,6 +119,9 @@ struct Bank {
 pub struct Dram {
     config: DramConfig,
     queue: Vec<PendingReq>,
+    /// Overflow backlog: requests accepted by [`Dram::enqueue`] while the
+    /// scheduler queue was full, replayed in arrival order as space opens.
+    overflow: VecDeque<PendingReq>,
     banks: Vec<Bank>,
     bus_free_at: u64,
     /// (id, done_at) of requests issued but not yet reported complete.
@@ -130,6 +135,7 @@ impl Dram {
         Dram {
             config,
             queue: Vec::new(),
+            overflow: VecDeque::new(),
             banks: vec![
                 Bank {
                     open_row: None,
@@ -158,15 +164,32 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
-    /// True when the channel has no queued or in-flight requests.
+    /// True when the channel has no queued, backlogged, or in-flight
+    /// requests.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.in_flight.is_empty()
+        self.queue.is_empty() && self.overflow.is_empty() && self.in_flight.is_empty()
     }
 
-    /// Current channel occupancy: queued plus in-flight requests (deadlock
-    /// diagnostics).
+    /// Current channel occupancy: queued, backlogged, plus in-flight
+    /// requests (deadlock diagnostics).
     pub fn queue_depth(&self) -> usize {
-        self.queue.len() + self.in_flight.len()
+        self.queue.len() + self.overflow.len() + self.in_flight.len()
+    }
+
+    /// Enqueue a request, never refusing it: when the scheduler queue is
+    /// full the request parks in an internal overflow backlog and is
+    /// replayed (in arrival order) as space opens on later ticks. This is
+    /// the port the simulator's memory partitions feed.
+    pub fn enqueue(&mut self, id: u64, addr: u64, now: u64) {
+        if !self.push(id, addr, now) {
+            self.overflow.push_back(PendingReq { id, addr });
+        }
+    }
+
+    /// Drop the overflow backlog (device halt): backlogged requests never
+    /// reached the scheduler queue and their waiters are gone.
+    pub fn clear_overflow(&mut self) {
+        self.overflow.clear();
     }
 
     /// Enqueue a request; returns `false` (and counts a rejection) when the
@@ -193,6 +216,16 @@ impl Dram {
     /// Advance one cycle: possibly issue one queued request, and return the
     /// ids of requests whose data has fully transferred by `now`.
     pub fn tick(&mut self, now: u64) -> Vec<u64> {
+        // Replay the overflow backlog while the scheduler queue has space
+        // (each refused replay still counts as a rejection, like any push).
+        while let Some(&PendingReq { id, addr }) = self.overflow.front() {
+            if self.push(id, addr, now) {
+                self.overflow.pop_front();
+            } else {
+                break;
+            }
+        }
+
         if !self.queue.is_empty() || !self.in_flight.is_empty() || self.bus_free_at > now {
             self.stats.active_cycles += 1;
         }
@@ -351,6 +384,39 @@ mod tests {
             }
         }
         assert_eq!(done, vec![1, 2], "FIFO services in arrival order");
+    }
+
+    #[test]
+    fn enqueue_overflow_replays_in_order() {
+        let mut d = Dram::new(DramConfig {
+            queue_size: 2,
+            ..DramConfig::default()
+        });
+        for i in 0..6u64 {
+            d.enqueue(i, i * 64, 0);
+        }
+        assert!(!d.is_idle());
+        assert_eq!(d.queue_depth(), 6);
+        assert_eq!(d.stats().rejected, 4, "overflowed pushes count rejections");
+        let done = drain(&mut d, 2_000);
+        assert_eq!(done.len(), 6, "backlogged requests are eventually served");
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn clear_overflow_drops_backlog_only() {
+        let mut d = Dram::new(DramConfig {
+            queue_size: 1,
+            ..DramConfig::default()
+        });
+        d.enqueue(0, 0, 0);
+        d.enqueue(1, 64, 0);
+        assert_eq!(d.queue_depth(), 2);
+        d.clear_overflow();
+        assert_eq!(d.queue_depth(), 1);
+        let done = drain(&mut d, 500);
+        assert_eq!(done.len(), 1);
+        assert!(d.is_idle());
     }
 
     #[test]

@@ -100,6 +100,15 @@ pub struct GpuConfig {
     /// Also emit an event per L2 line fill from DRAM. High frequency;
     /// off by default so traces stay kernel-granular.
     pub trace_cache_fills: bool,
+    /// Worker threads the cycle engine shards SMs across. `1` (the
+    /// default) runs the classic single-threaded loop. Any value produces
+    /// bit-identical [`crate::RunStats`], profiles, and traces — SMs tick
+    /// against a read-only memory snapshot and their outputs merge in
+    /// deterministic (SM index, issue order) — so this is purely a
+    /// wall-clock knob. Clamped to the SM count at `synchronize` time.
+    /// [`GpuConfig::rtx3070`] seeds it from the `GGPU_SIM_THREADS`
+    /// environment variable when set.
+    pub sim_threads: usize,
 }
 
 impl Default for GpuConfig {
@@ -137,6 +146,7 @@ impl GpuConfig {
             trace: false,
             trace_capacity: 1 << 20,
             trace_cache_fills: false,
+            sim_threads: sim_threads_from_env(),
         }
     }
 
@@ -170,10 +180,27 @@ impl GpuConfig {
         self
     }
 
+    /// Set the engine's worker-thread count (clamped to at least 1); see
+    /// [`GpuConfig::sim_threads`].
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads.max(1);
+        self
+    }
+
     /// Total L2 capacity across partitions.
     pub fn l2_total(&self) -> u64 {
         self.l2_slice.bytes * self.n_partitions as u64
     }
+}
+
+/// Default engine thread count: `GGPU_SIM_THREADS` when set to a positive
+/// integer, otherwise 1 (single-threaded).
+fn sim_threads_from_env() -> usize {
+    std::env::var("GGPU_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -219,6 +246,15 @@ mod tests {
         let c = GpuConfig::rtx3070().with_cache_sizes(0, 128 * 1024);
         assert_eq!(c.sm.l1.bytes, 0);
         assert_eq!(c.l2_total(), 128 * 1024);
+    }
+
+    #[test]
+    fn sim_threads_builder_clamps_to_one() {
+        // The default comes from GGPU_SIM_THREADS (the CI matrix sets it),
+        // so only assert it is sane, not that it equals 1.
+        assert!(GpuConfig::rtx3070().sim_threads >= 1);
+        assert_eq!(GpuConfig::rtx3070().with_sim_threads(4).sim_threads, 4);
+        assert_eq!(GpuConfig::rtx3070().with_sim_threads(0).sim_threads, 1);
     }
 
     #[test]

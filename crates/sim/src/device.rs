@@ -1,41 +1,43 @@
 //! The whole-GPU device: SM cluster, interconnect, L2 partitions, DRAM
 //! channels, CTA dispatcher, CDP runtime, and the host API.
+//!
+//! This file is the facade: the [`Gpu`] state and its construction,
+//! accessors, statistics, and profiling surface. The behaviour lives in
+//! focused submodules:
+//!
+//! * [`engine`] — the per-cycle loop (event delivery, DRAM, SM phase,
+//!   commit), `synchronize`, and fault/deadlock handling.
+//! * [`launch`] — grid validation/queueing, CTA dispatch, and the CDP
+//!   runtime.
+//! * [`memcpy`] — host transfers: `malloc`, `memcpy_h2d`/`d2h`, constant
+//!   binding, and the PCIe cost model.
+//! * [`parallel`] — the SM-sharded multi-threaded executor behind
+//!   [`GpuConfig::sim_threads`], plus the lane/shard plumbing shared with
+//!   the single-threaded path.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+mod engine;
+mod launch;
+mod memcpy;
+mod parallel;
+
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use ggpu_icnt::Icnt;
-use ggpu_isa::{FaultKind, Kernel, KernelId, LaunchDims, Program};
-use ggpu_mem::{Cache, CacheOutcome, Dram, LINE_BYTES};
-use ggpu_sm::{CtaConfig, MemRequest, ReqKind, SmCore, TickOutput, Trap, WarpReport, WarpWait};
+use ggpu_icnt::{DeliveryQueue, Icnt};
+use ggpu_isa::{KernelId, Program};
+use ggpu_mem::{Cache, Dram};
+use ggpu_sm::{SmCore, SmPorts};
 
 use crate::config::GpuConfig;
-use crate::error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
-use crate::memory::{DeviceMemory, DevicePtr};
+use crate::error::SimError;
+use crate::memory::DeviceMemory;
 use crate::profile::{IntervalSample, KernelRecord, ProfileReport, Sampler};
 use crate::stats::{HostStats, RunStats};
-use crate::trace::{CopyDir, TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
+use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
 
-/// Absolute backstop on simulated cycles per `synchronize`. The configurable
-/// forward-progress watchdog ([`GpuConfig::watchdog_cycles`]) normally fires
-/// long before this; the backstop only matters if a workload keeps producing
-/// token progress (e.g. one instruction every few thousand cycles) forever.
-const MAX_SYNC_CYCLES: u64 = 2_000_000_000;
-
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-enum Ev {
-    /// A request packet arrived at its memory partition.
-    L2Arrive {
-        sm: usize,
-        id: u64,
-        addr: u64,
-        kind: u8,
-        tex: bool,
-    },
-    /// A reply packet arrived back at its SM.
-    Reply { sm: usize, id: u64 },
-}
+use self::engine::{DramTarget, Ev};
+use self::launch::Grid;
+use self::parallel::{LaneSet, SmLane};
 
 /// Where trace events go. [`SinkSlot::Off`] keeps the disabled path at a
 /// single branch per emission site.
@@ -47,47 +49,6 @@ enum SinkSlot {
     Buffer(TraceBuffer),
     /// A user-installed sink ([`Gpu::set_trace_sink`]).
     Custom(Box<dyn TraceSink>),
-}
-
-#[derive(Debug)]
-enum DramTarget {
-    /// Fill an L2 line and answer the waiters registered under it.
-    Fill { part: usize, line: u64 },
-    /// Pure write traffic; nothing to do on completion.
-    Write,
-}
-
-#[derive(Debug)]
-struct Grid {
-    kernel: KernelId,
-    dims: LaunchDims,
-    params: Arc<Vec<u64>>,
-    const_data: Arc<Vec<u8>>,
-    local_base: u64,
-    local_stride: u64,
-    next_cta: u64,
-    done_ctas: u64,
-    /// `(sm, slot, parent grid handle)` for CDP children.
-    parent: Option<(usize, usize, u64)>,
-    /// Earliest cycle CTAs may dispatch (launch overhead); `None` until the
-    /// grid reaches the head of its queue.
-    armed_at: Option<u64>,
-    from_host: bool,
-    /// CDP nesting depth: 0 for host grids, parent + 1 for children.
-    depth: u32,
-    /// Cycle at which the grid was enqueued.
-    launch_cycle: u64,
-    /// Cycle at which the first CTA dispatched; `None` until then.
-    start_cycle: Option<u64>,
-}
-
-impl Grid {
-    fn fully_dispatched(&self) -> bool {
-        self.next_cta >= self.dims.num_ctas()
-    }
-    fn finished(&self) -> bool {
-        self.fully_dispatched() && self.done_ctas >= self.dims.num_ctas()
-    }
 }
 
 /// The simulated GPU plus its host-side API.
@@ -102,15 +63,18 @@ impl Grid {
 pub struct Gpu {
     config: GpuConfig,
     program: Arc<Program>,
-    sms: Vec<SmCore>,
+    /// One lane per SM: the core plus its port pair. All SM traffic crosses
+    /// the ports, so lanes can tick concurrently against a read-only memory
+    /// snapshot (see [`parallel`]).
+    lanes: Vec<SmLane>,
     mem: DeviceMemory,
     l2: Vec<Cache>,
     dram: Vec<Dram>,
     icnt_req: Icnt,
     icnt_rep: Icnt,
     cycle: u64,
-    events: BinaryHeap<Reverse<(u64, u64, Ev)>>,
-    ev_seq: u64,
+    /// In-flight network packets, popped in (time, insertion) order.
+    events: DeliveryQueue<Ev>,
     host_queue: VecDeque<u64>,
     device_queue: VecDeque<u64>,
     grids: HashMap<u64, Grid>,
@@ -121,9 +85,9 @@ pub struct Gpu {
     /// DRAM requests in flight, by channel-unique key.
     dram_inflight: HashMap<u64, DramTarget>,
     next_dram_key: u64,
-    /// Per-partition overflow queue when a DRAM channel's queue is full.
-    dram_wait: Vec<VecDeque<(u64, u64)>>,
     dispatch_cursor: usize,
+    /// Reused per-cycle scratch for the device-queue dispatch sweep.
+    scratch_handles: Vec<u64>,
     host: HostStats,
     /// Sticky device fault (CUDA semantics): once set, every device-touching
     /// API call returns it until [`Gpu::reset_fault`].
@@ -152,8 +116,11 @@ impl Gpu {
             .validate()
             .unwrap_or_else(|(name, e)| panic!("kernel `{name}` invalid: {e}"));
         let program = Arc::new(program);
-        let sms = (0..config.n_sms)
-            .map(|_| SmCore::new(config.sm, Arc::clone(&program)))
+        let lanes = (0..config.n_sms)
+            .map(|_| SmLane {
+                core: SmCore::new(config.sm, Arc::clone(&program)),
+                ports: SmPorts::new(),
+            })
             .collect();
         let l2 = (0..config.n_partitions)
             .map(|_| Cache::new(config.l2_slice))
@@ -166,15 +133,14 @@ impl Gpu {
         let mut mem = DeviceMemory::new();
         mem.set_poison(config.fault_plan.poison);
         Gpu {
-            sms,
+            lanes,
             mem,
             l2,
             dram,
             icnt_req,
             icnt_rep,
             cycle: 0,
-            events: BinaryHeap::new(),
-            ev_seq: 0,
+            events: DeliveryQueue::new(),
             host_queue: VecDeque::new(),
             device_queue: VecDeque::new(),
             grids: HashMap::new(),
@@ -183,8 +149,8 @@ impl Gpu {
             l2_waiters: HashMap::new(),
             dram_inflight: HashMap::new(),
             next_dram_key: 0,
-            dram_wait: vec![VecDeque::new(); config.n_partitions],
             dispatch_cursor: 0,
+            scratch_handles: Vec::new(),
             host: HostStats::default(),
             fault: None,
             last_progress: 0,
@@ -228,308 +194,6 @@ impl Gpu {
         &mut self.mem
     }
 
-    // ---- host API -------------------------------------------------------
-    //
-    // Each operation comes in a fallible `try_*` flavour returning
-    // `Result<_, SimError>` and a thin panicking wrapper keeping the
-    // original signature. Guest faults and deadlocks are *sticky*: after
-    // one, every `try_*` call returns the same error until `reset_fault`.
-
-    /// Allocate device memory, failing when the configured capacity
-    /// ([`GpuConfig::memory_limit`]) would be exceeded.
-    ///
-    /// Allocation failure is *not* sticky (as in CUDA): the device stays
-    /// usable and smaller allocations may still succeed.
-    pub fn try_malloc(&mut self, bytes: u64) -> Result<DevicePtr, SimError> {
-        if let Some(f) = self.fault.clone() {
-            return Err(f);
-        }
-        let in_use = self.mem.allocated();
-        if bytes.saturating_add(in_use) > self.config.memory_limit {
-            return Err(SimError::OutOfMemory {
-                requested: bytes,
-                in_use,
-                limit: self.config.memory_limit,
-            });
-        }
-        Ok(self.mem.alloc(bytes))
-    }
-
-    /// Allocate device memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics where [`Gpu::try_malloc`] would return an error.
-    pub fn malloc(&mut self, bytes: u64) -> DevicePtr {
-        self.try_malloc(bytes)
-            .unwrap_or_else(|e| panic!("malloc failed: {e}"))
-    }
-
-    /// Copy host data to the device (one PCI transaction).
-    pub fn try_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> Result<(), SimError> {
-        if let Some(f) = self.fault.clone() {
-            return Err(f);
-        }
-        self.mem.write_slice(dst, data);
-        let cost = self.config.pcie.latency
-            + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
-        self.host.pci_count += 1;
-        self.host.h2d_bytes += data.len() as u64;
-        self.host.pci_cycles += cost;
-        if self.trace_on() {
-            self.emit(TraceEventKind::Memcpy {
-                dir: CopyDir::H2D,
-                bytes: data.len() as u64,
-                cycles: cost,
-            });
-        }
-        Ok(())
-    }
-
-    /// Copy host data to the device (one PCI transaction).
-    ///
-    /// # Panics
-    ///
-    /// Panics when the device is in the fault state.
-    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) {
-        self.try_memcpy_h2d(dst, data)
-            .unwrap_or_else(|e| panic!("memcpy_h2d failed: {e}"));
-    }
-
-    /// Copy device data back to the host (one PCI transaction).
-    pub fn try_memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Result<Vec<u8>, SimError> {
-        if let Some(f) = self.fault.clone() {
-            return Err(f);
-        }
-        let cost =
-            self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
-        self.host.pci_count += 1;
-        self.host.d2h_bytes += len as u64;
-        self.host.pci_cycles += cost;
-        if self.trace_on() {
-            self.emit(TraceEventKind::Memcpy {
-                dir: CopyDir::D2H,
-                bytes: len as u64,
-                cycles: cost,
-            });
-        }
-        Ok(self.mem.read_slice(src, len))
-    }
-
-    /// Copy device data back to the host (one PCI transaction).
-    ///
-    /// # Panics
-    ///
-    /// Panics when the device is in the fault state.
-    pub fn memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Vec<u8> {
-        self.try_memcpy_d2h(src, len)
-            .unwrap_or_else(|e| panic!("memcpy_d2h failed: {e}"))
-    }
-
-    /// Bind a constant-memory image to a kernel (as `cudaMemcpyToSymbol`
-    /// would); inherited by CDP children of the same kernel id.
-    pub fn bind_constants(&mut self, kernel: KernelId, data: Vec<u8>) {
-        self.const_bindings.insert(kernel.0, Arc::new(data));
-    }
-
-    /// Validate a launch configuration against the program and the SM
-    /// resource limits; `Err` carries the specific [`LaunchProblem`].
-    fn validate_launch(
-        &self,
-        kernel: KernelId,
-        dims: LaunchDims,
-        params: &[u64],
-    ) -> Result<(), SimError> {
-        let k = match self.program.get(kernel) {
-            Some(k) => k,
-            None => {
-                return Err(SimError::InvalidLaunch {
-                    kernel: format!("k{}", kernel.0),
-                    problem: LaunchProblem::UnknownKernel,
-                })
-            }
-        };
-        let invalid = |problem| SimError::InvalidLaunch {
-            kernel: k.name.clone(),
-            problem,
-        };
-        let tpc = dims.threads_per_cta();
-        if dims.num_ctas() == 0 || tpc == 0 {
-            return Err(invalid(LaunchProblem::ZeroDimension));
-        }
-        let sm = &self.config.sm;
-        if tpc > sm.max_threads {
-            return Err(invalid(LaunchProblem::TooManyThreads {
-                requested: tpc,
-                limit: sm.max_threads,
-            }));
-        }
-        let regs = k.regs_per_thread.saturating_mul(tpc);
-        if regs > sm.registers {
-            return Err(invalid(LaunchProblem::RegistersExceeded {
-                requested: regs,
-                limit: sm.registers,
-            }));
-        }
-        if k.smem_per_cta > sm.smem_bytes {
-            return Err(invalid(LaunchProblem::SharedMemExceeded {
-                requested: k.smem_per_cta,
-                limit: sm.smem_bytes,
-            }));
-        }
-        let required = k.param_words_required();
-        if params.len() < required {
-            return Err(invalid(LaunchProblem::ParamCountMismatch {
-                required,
-                provided: params.len(),
-            }));
-        }
-        Ok(())
-    }
-
-    /// Enqueue a grid on the default stream (serialized with prior host
-    /// launches) after validating the configuration. Returns the grid
-    /// handle.
-    pub fn try_launch(
-        &mut self,
-        kernel: KernelId,
-        dims: LaunchDims,
-        params: &[u64],
-    ) -> Result<u64, SimError> {
-        if let Some(f) = self.fault.clone() {
-            return Err(f);
-        }
-        self.validate_launch(kernel, dims, params)?;
-        let program = Arc::clone(&self.program);
-        let k: &Kernel = program.kernel(kernel);
-        let (local_base, local_stride) = self.alloc_local_arena(k, dims);
-        let const_data = self
-            .const_bindings
-            .get(&kernel.0)
-            .cloned()
-            .unwrap_or_else(|| Arc::new(Vec::new()));
-        let handle = self.next_grid;
-        self.next_grid += 1;
-        self.grids.insert(
-            handle,
-            Grid {
-                kernel,
-                dims,
-                params: Arc::new(params.to_vec()),
-                const_data,
-                local_base,
-                local_stride,
-                next_cta: 0,
-                done_ctas: 0,
-                parent: None,
-                armed_at: None,
-                from_host: true,
-                depth: 0,
-                launch_cycle: self.cycle,
-                start_cycle: None,
-            },
-        );
-        self.host_queue.push_back(handle);
-        self.host.kernel_launches += 1;
-        if self.trace_on() {
-            self.emit(TraceEventKind::KernelLaunch {
-                grid: handle,
-                kernel: self.kernel_name(kernel),
-                ctas: dims.num_ctas(),
-                threads_per_cta: dims.threads_per_cta(),
-            });
-        }
-        Ok(handle)
-    }
-
-    /// Enqueue a grid on the default stream. Returns the grid handle.
-    ///
-    /// # Panics
-    ///
-    /// Panics where [`Gpu::try_launch`] would return an error (unknown
-    /// kernel, invalid configuration, or a prior sticky fault).
-    pub fn launch(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
-        self.try_launch(kernel, dims, params)
-            .unwrap_or_else(|e| panic!("launch failed: {e}"))
-    }
-
-    /// Run the device until all launched grids complete; returns elapsed
-    /// kernel cycles.
-    ///
-    /// When a warp raises a guest fault, the device drains in-flight work,
-    /// enters the (sticky) fault state, and this returns the
-    /// [`SimError::DeviceFault`]. When the forward-progress watchdog sees
-    /// no activity for [`GpuConfig::watchdog_cycles`] consecutive cycles,
-    /// the device is halted the same way and this returns a
-    /// [`SimError::Deadlock`] with a per-warp blocked-state report. Either
-    /// way the `Gpu` stays usable after [`Gpu::reset_fault`].
-    pub fn try_synchronize(&mut self) -> Result<u64, SimError> {
-        if let Some(f) = self.fault.clone() {
-            return Err(f);
-        }
-        let start = self.cycle;
-        self.last_progress = self.cycle;
-        while self.busy() {
-            self.tick();
-            if let Some(f) = self.fault.clone() {
-                self.host.kernel_cycles += self.cycle - start;
-                self.flush_sample();
-                return Err(f);
-            }
-            let stalled = self.cycle - self.last_progress;
-            if stalled >= self.config.watchdog_cycles || self.cycle - start >= MAX_SYNC_CYCLES {
-                let err = SimError::Deadlock(Box::new(self.deadlock_report(stalled)));
-                self.fault = Some(err.clone());
-                if self.trace_on() {
-                    self.emit(TraceEventKind::Deadlock {
-                        stalled_for: stalled,
-                    });
-                }
-                self.halt_device();
-                self.host.kernel_cycles += self.cycle - start;
-                self.flush_sample();
-                return Err(err);
-            }
-        }
-        let elapsed = self.cycle - start;
-        self.host.kernel_cycles += elapsed;
-        self.flush_sample();
-        Ok(elapsed)
-    }
-
-    /// Run the device until all launched grids complete; returns elapsed
-    /// kernel cycles.
-    ///
-    /// # Panics
-    ///
-    /// Panics where [`Gpu::try_synchronize`] would return an error (guest
-    /// fault or deadlock).
-    pub fn synchronize(&mut self) -> u64 {
-        self.try_synchronize()
-            .unwrap_or_else(|e| panic!("synchronize failed: {e}"))
-    }
-
-    /// Convenience: launch one grid and synchronize.
-    pub fn try_run_kernel(
-        &mut self,
-        kernel: KernelId,
-        dims: LaunchDims,
-        params: &[u64],
-    ) -> Result<u64, SimError> {
-        self.try_launch(kernel, dims, params)?;
-        self.try_synchronize()
-    }
-
-    /// Convenience: launch one grid and synchronize.
-    ///
-    /// # Panics
-    ///
-    /// Panics where [`Gpu::try_run_kernel`] would return an error.
-    pub fn run_kernel(&mut self, kernel: KernelId, dims: LaunchDims, params: &[u64]) -> u64 {
-        self.try_run_kernel(kernel, dims, params)
-            .unwrap_or_else(|e| panic!("kernel failed: {e}"))
-    }
-
     /// The sticky fault the device is currently in, if any.
     pub fn fault(&self) -> Option<&SimError> {
         self.fault.as_ref()
@@ -542,26 +206,24 @@ impl Gpu {
         self.fault.take()
     }
 
-    /// Whether any work remains on the device.
-    pub fn busy(&self) -> bool {
-        !self.grids.is_empty()
-            || !self.events.is_empty()
-            || self.sms.iter().any(|s| !s.is_idle() || s.has_outstanding())
-            || self.dram.iter().any(|d| !d.is_idle())
-            || self.dram_wait.iter().any(|q| !q.is_empty())
-    }
-
     // ---- statistics -------------------------------------------------------
 
     /// Snapshot all counters.
     pub fn stats(&self) -> RunStats {
+        self.stats_over(self.lanes.iter().map(|l| &l.core))
+    }
+
+    /// [`Gpu::stats`] over an explicit SM-core iterator, so the engine can
+    /// snapshot counters while the lanes are checked out of `self` (e.g.
+    /// mid-`synchronize` for per-kernel records and interval samples).
+    pub(super) fn stats_over<'a>(&self, cores: impl Iterator<Item = &'a SmCore>) -> RunStats {
         let mut r = RunStats {
             host: self.host,
             icnt_req: *self.icnt_req.stats(),
             icnt_rep: *self.icnt_rep.stats(),
             ..RunStats::default()
         };
-        for sm in &self.sms {
+        for sm in cores {
             r.sm.merge(sm.stats());
             RunStats::merge_cache(&mut r.l1, sm.l1_stats());
         }
@@ -578,9 +240,9 @@ impl Gpu {
     /// per-kernel records, interval samples, and the trace buffer.
     pub fn reset_stats(&mut self) {
         self.host = HostStats::default();
-        for sm in &mut self.sms {
-            let _ = sm.take_stats();
-            sm.reset_cache_stats();
+        for lane in &mut self.lanes {
+            let _ = lane.core.take_stats();
+            lane.core.reset_cache_stats();
         }
         for l2 in &mut self.l2 {
             l2.reset_stats();
@@ -711,567 +373,13 @@ impl Gpu {
         }
     }
 
-    // ---- internals --------------------------------------------------------
-
-    #[inline]
-    fn partition_of(&self, addr: u64) -> usize {
-        ((addr / 256) % self.config.n_partitions as u64) as usize
-    }
-
-    fn push_event(&mut self, time: u64, ev: Ev) {
-        self.ev_seq += 1;
-        self.events.push(Reverse((time, self.ev_seq, ev)));
-    }
-
-    fn route_request(&mut self, sm: usize, req: MemRequest) {
-        let part = self.partition_of(req.addr);
-        let bytes = match req.kind {
-            ReqKind::Load => 32,
-            ReqKind::Store => 8 + LINE_BYTES as u32,
-            ReqKind::Atomic => 40,
-        };
-        let t = self.icnt_req.send(
-            self.icnt_req.src_node(sm),
-            self.icnt_req.dst_node(part),
-            bytes,
-            self.cycle,
-        );
-        let kind = match req.kind {
-            ReqKind::Load => 0,
-            ReqKind::Store => 1,
-            ReqKind::Atomic => 2,
-        };
-        self.push_event(
-            t.max(self.cycle + 1),
-            Ev::L2Arrive {
-                sm,
-                id: req.id,
-                addr: req.addr,
-                kind,
-                tex: req.tex,
-            },
-        );
-    }
-
-    fn enqueue_dram(&mut self, part: usize, addr: u64, target: DramTarget) {
-        let key = self.next_dram_key;
-        self.next_dram_key += 1;
-        self.dram_inflight.insert(key, target);
-        if !self.dram[part].push(key, addr, self.cycle) {
-            self.dram_wait[part].push_back((key, addr));
-        }
-    }
-
-    fn send_reply(&mut self, part: usize, sm: usize, id: u64, extra_delay: u64) {
-        let n = self.replies_sent;
-        self.replies_sent += 1;
-        if self.config.fault_plan.drop_reply == Some(n) {
-            // Injected loss: the waiting warp never unblocks and the
-            // watchdog reports the hang.
-            return;
-        }
-        let t = self.icnt_rep.send(
-            self.icnt_rep.dst_node(part),
-            self.icnt_rep.src_node(sm),
-            8 + LINE_BYTES as u32,
-            self.cycle + extra_delay,
-        );
-        self.push_event(t.max(self.cycle + 1), Ev::Reply { sm, id });
-    }
-
-    fn handle_l2_arrive(&mut self, sm: usize, id: u64, addr: u64, kind: u8, tex: bool) {
-        let part = self.partition_of(addr);
-        let line = addr / LINE_BYTES;
-        match kind {
-            // Load or atomic: read path through L2.
-            0 | 2 => match self.l2[part].access(addr, false) {
-                CacheOutcome::Hit => {
-                    self.send_reply(part, sm, id, self.config.l2_latency);
-                }
-                CacheOutcome::MshrMerged => {
-                    self.l2_waiters
-                        .entry((part, line))
-                        .or_default()
-                        .push((sm, id));
-                }
-                _ => {
-                    self.l2_waiters
-                        .entry((part, line))
-                        .or_default()
-                        .push((sm, id));
-                    self.enqueue_dram(part, addr, DramTarget::Fill { part, line });
-                }
-            },
-            // Store: write-through L2 (update on hit, stream to DRAM).
-            _ => {
-                let _ = self.l2[part].access(addr, true);
-                let _ = tex;
-                self.enqueue_dram(part, addr, DramTarget::Write);
+    /// [`Gpu::flush_sample`] while the lanes are checked out of `self`.
+    fn flush_sample_with(&mut self, lanes: &LaneSet<'_>) {
+        if self.sampler.is_some() {
+            let snap = self.stats_over(lanes.cores());
+            if let Some(s) = &mut self.sampler {
+                s.close_window(self.cycle, &snap);
             }
-        }
-    }
-
-    fn dram_tick(&mut self) {
-        for part in 0..self.dram.len() {
-            // Feed waiting requests as queue space opens.
-            while let Some(&(key, addr)) = self.dram_wait[part].front() {
-                if self.dram[part].push(key, addr, self.cycle) {
-                    self.dram_wait[part].pop_front();
-                } else {
-                    break;
-                }
-            }
-            for key in self.dram[part].tick(self.cycle) {
-                match self.dram_inflight.remove(&key) {
-                    Some(DramTarget::Fill { part, line }) => {
-                        self.l2[part].fill(line * LINE_BYTES, false);
-                        if self.config.trace_cache_fills && self.trace_on() {
-                            self.emit(TraceEventKind::CacheFill {
-                                partition: part as u64,
-                                addr: line * LINE_BYTES,
-                            });
-                        }
-                        if let Some(waiters) = self.l2_waiters.remove(&(part, line)) {
-                            for (sm, id) in waiters {
-                                self.send_reply(part, sm, id, 0);
-                            }
-                        }
-                    }
-                    Some(DramTarget::Write) | None => {}
-                }
-            }
-        }
-    }
-
-    fn arm_and_dispatch(&mut self) {
-        // CDP children dispatch immediately (after their overhead window).
-        let device_handles: Vec<u64> = self.device_queue.iter().copied().collect();
-        for h in device_handles {
-            self.dispatch_grid(h);
-        }
-        self.device_queue.retain(|h| {
-            self.grids
-                .get(h)
-                .map(|g| !g.fully_dispatched())
-                .unwrap_or(false)
-        });
-
-        // Host grids serialize on the default stream: only the head runs.
-        if let Some(&head) = self.host_queue.front() {
-            let arm = {
-                let g = self.grids.get_mut(&head).expect("head grid exists");
-                if g.armed_at.is_none() {
-                    g.armed_at = Some(self.cycle + self.config.kernel_launch_overhead);
-                    true
-                } else {
-                    false
-                }
-            };
-            if arm && self.config.flush_between_kernels {
-                for sm in &mut self.sms {
-                    sm.flush_caches();
-                }
-                for l2 in &mut self.l2 {
-                    l2.flush();
-                }
-            }
-            self.dispatch_grid(head);
-        }
-    }
-
-    fn dispatch_grid(&mut self, handle: u64) {
-        let (kernel_id, dims, params, const_data, local_base, local_stride, mut next_cta, armed) = {
-            let g = match self.grids.get(&handle) {
-                Some(g) => g,
-                None => return,
-            };
-            if g.armed_at.map(|t| self.cycle < t).unwrap_or(true) || g.fully_dispatched() {
-                return;
-            }
-            (
-                g.kernel,
-                g.dims,
-                Arc::clone(&g.params),
-                Arc::clone(&g.const_data),
-                g.local_base,
-                g.local_stride,
-                g.next_cta,
-                true,
-            )
-        };
-        debug_assert!(armed);
-        let total = dims.num_ctas();
-        let n_sms = self.sms.len();
-        let mut failures = 0;
-        while next_cta < total && failures < n_sms {
-            let sm = self.dispatch_cursor % n_sms;
-            self.dispatch_cursor += 1;
-            let cfg = CtaConfig {
-                kernel_id,
-                grid_handle: handle,
-                cta_linear: next_cta,
-                dims,
-                params: Arc::clone(&params),
-                const_data: Arc::clone(&const_data),
-                local_base,
-                local_stride,
-            };
-            if self.sms[sm].try_launch_cta(cfg) {
-                next_cta += 1;
-                failures = 0;
-            } else {
-                failures += 1;
-            }
-        }
-        let mut started = false;
-        if let Some(g) = self.grids.get_mut(&handle) {
-            g.next_cta = next_cta;
-            if g.start_cycle.is_none() && next_cta > 0 {
-                g.start_cycle = Some(self.cycle);
-                started = true;
-            }
-        }
-        if started && self.trace_on() {
-            self.emit(TraceEventKind::KernelStart { grid: handle });
-        }
-    }
-
-    /// Allocate a grid's local-memory arena, returning `(base, stride)`.
-    ///
-    /// The per-thread stride is rounded up to 8 bytes and the arena is sized
-    /// in whole warps: the warp-interleaved layout places same-granule
-    /// accesses of all 32 lanes adjacently, so an unaligned stride (or a
-    /// partial final warp) would otherwise reach past the allocation and
-    /// trip the architectural bounds check.
-    fn alloc_local_arena(&mut self, k: &Kernel, dims: LaunchDims) -> (u64, u64) {
-        let local_stride = (k.local_bytes_per_thread as u64).next_multiple_of(8);
-        if local_stride == 0 {
-            return (0, 0);
-        }
-        let warp_slots = dims.num_ctas() * dims.warps_per_cta() as u64;
-        let base = self
-            .mem
-            .alloc(local_stride * warp_slots * ggpu_isa::WARP_SIZE as u64)
-            .0;
-        (base, local_stride)
-    }
-
-    // ---- fault handling ---------------------------------------------------
-
-    /// Compose the host-facing error for a warp trap raised on SM `sm`.
-    fn fault_from_trap(&self, sm: usize, t: &Trap) -> SimError {
-        let kernel = self
-            .program
-            .get(t.kernel)
-            .map(|k| k.name.clone())
-            .unwrap_or_else(|| format!("k{}", t.kernel.0));
-        SimError::DeviceFault(Box::new(DeviceFault {
-            kind: t.kind,
-            kernel,
-            sm,
-            cta: Some(t.cta_linear),
-            warp: Some(t.warp),
-            warp_in_cta: Some(t.warp_in_cta),
-            lane_mask: Some(t.lane_mask),
-            pc: Some(t.pc),
-            instr: t.instr.clone(),
-            addr: t.addr,
-            cycle: self.cycle,
-        }))
-    }
-
-    /// Halt the device after a fault: abort resident work on every SM, drop
-    /// queued grids and in-flight packets, and drain the DRAM channels so
-    /// the device returns to a clean idle state. Memory contents, cache
-    /// tags, and statistics survive.
-    fn halt_device(&mut self) {
-        for sm in &mut self.sms {
-            sm.abort_workload();
-        }
-        self.events.clear();
-        self.host_queue.clear();
-        self.device_queue.clear();
-        self.grids.clear();
-        self.l2_waiters.clear();
-        self.dram_inflight.clear();
-        for q in &mut self.dram_wait {
-            q.clear();
-        }
-        // Drain DRAM off the device clock; completions are discarded since
-        // their waiters were just aborted. Bounded: one issue per cycle and
-        // bounded per-request latency, the cap is never the limiter.
-        let mut t = self.cycle;
-        let deadline = self.cycle + 1_000_000;
-        while self.dram.iter().any(|d| !d.is_idle()) && t < deadline {
-            t += 1;
-            for d in &mut self.dram {
-                let _ = d.tick(t);
-            }
-        }
-    }
-
-    /// Snapshot everything a deadlock post-mortem needs. Must run *before*
-    /// [`Gpu::halt_device`] wipes the state it describes.
-    fn deadlock_report(&self, stalled_for: u64) -> DeadlockReport {
-        let mut warps: Vec<WarpReport> = Vec::new();
-        for (i, sm) in self.sms.iter().enumerate() {
-            warps.extend(
-                sm.warp_report(i)
-                    .into_iter()
-                    .filter(|w| w.wait != WarpWait::Done),
-            );
-        }
-        DeadlockReport {
-            cycle: self.cycle,
-            stalled_for,
-            warps,
-            host_queue: self.host_queue.len(),
-            device_queue: self.device_queue.len(),
-            events_in_flight: self.events.len(),
-            outstanding_requests: self.sms.iter().map(|s| s.outstanding_requests()).sum(),
-            dram_queued: self.dram.iter().map(|d| d.queue_depth()).sum::<usize>()
-                + self.dram_wait.iter().map(|q| q.len()).sum::<usize>(),
-        }
-    }
-
-    fn grid_done(&mut self, handle: u64) {
-        let grid = match self.grids.remove(&handle) {
-            Some(g) => g,
-            None => return,
-        };
-        if self.profiling_enabled() {
-            // Per-kernel counter scoping by retire interval: this record's
-            // delta covers everything since the previous retire boundary, so
-            // record deltas telescope to the run totals.
-            let snap = self.stats();
-            let delta = snap.delta_since(&self.record_base);
-            self.record_base = snap;
-            self.records.push(KernelRecord {
-                grid: handle,
-                kernel: self.kernel_name(grid.kernel),
-                kernel_id: grid.kernel.0,
-                ctas: grid.dims.num_ctas(),
-                threads_per_cta: grid.dims.threads_per_cta(),
-                parent: grid.parent.map(|(_, _, p)| p),
-                depth: grid.depth,
-                launch_cycle: grid.launch_cycle,
-                start_cycle: grid.start_cycle.unwrap_or(grid.launch_cycle),
-                retire_cycle: self.cycle,
-                stats: delta,
-            });
-        }
-        if self.trace_on() {
-            self.emit(TraceEventKind::KernelRetire { grid: handle });
-        }
-        if let Some((sm, slot, parent_handle)) = grid.parent {
-            self.sms[sm].child_grid_done(slot, Some(parent_handle));
-            if self.trace_on() {
-                self.emit(TraceEventKind::CdpDrain {
-                    parent: parent_handle,
-                    child: handle,
-                });
-            }
-        }
-        if grid.from_host {
-            debug_assert_eq!(self.host_queue.front(), Some(&handle));
-            self.host_queue.pop_front();
-        }
-    }
-
-    /// Advance the device one cycle. No-op while the device is in the fault
-    /// state (until [`Gpu::reset_fault`]).
-    pub fn tick(&mut self) {
-        if self.fault.is_some() {
-            return;
-        }
-        self.cycle += 1;
-        let now = self.cycle;
-
-        // 1. Deliver due network events.
-        while let Some(Reverse((t, _, _))) = self.events.peek() {
-            if *t > now {
-                break;
-            }
-            let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
-            match ev {
-                Ev::L2Arrive {
-                    sm,
-                    id,
-                    addr,
-                    kind,
-                    tex,
-                } => self.handle_l2_arrive(sm, id, addr, kind, tex),
-                Ev::Reply { sm, id } => self.sms[sm].mem_response(id, now),
-            }
-        }
-
-        // 2. DRAM channels.
-        self.dram_tick();
-
-        // 3. CTA dispatch (children first, then the head host grid).
-        self.arm_and_dispatch();
-
-        // 4. SM cores.
-        let device_busy = self
-            .grids
-            .values()
-            .any(|g| !g.fully_dispatched() || g.armed_at.map(|t| now < t).unwrap_or(true));
-        let mut out = TickOutput::default();
-        let mut first_trap: Option<(usize, Trap)> = None;
-        for sm in 0..self.sms.len() {
-            self.sms[sm].tick(now, &mut self.mem, device_busy, &mut out);
-            let requests = std::mem::take(&mut out.mem_requests);
-            for req in requests {
-                self.route_request(sm, req);
-            }
-            let launches = std::mem::take(&mut out.launches);
-            for l in launches {
-                self.spawn_child(sm, l);
-            }
-            let completed = std::mem::take(&mut out.completed);
-            for c in completed {
-                if let Some(g) = self.grids.get_mut(&c.grid_handle) {
-                    g.done_ctas += 1;
-                    if g.finished() {
-                        self.grid_done(c.grid_handle);
-                    }
-                }
-            }
-            for t in std::mem::take(&mut out.traps) {
-                if first_trap.is_none() {
-                    first_trap = Some((sm, t));
-                }
-            }
-        }
-
-        // 5. Fault resolution: the first trap of the cycle (or a CDP-limit
-        // fault raised in `spawn_child`) puts the device into the sticky
-        // fault state and halts it.
-        if self.fault.is_none() {
-            if let Some((sm, t)) = first_trap {
-                self.fault = Some(self.fault_from_trap(sm, &t));
-                if self.trace_on() {
-                    self.emit(TraceEventKind::Fault {
-                        kind: t.kind,
-                        kernel: self.kernel_name(t.kernel),
-                    });
-                }
-            }
-        }
-        if self.fault.is_some() {
-            self.halt_device();
-            return;
-        }
-
-        // 6. Forward-progress watchdog bookkeeping. Progress means: an
-        // instruction issued, a network packet is still in flight, a DRAM
-        // channel is working, or a grid is waiting out its launch overhead.
-        let progress = out.issued > 0
-            || !self.events.is_empty()
-            || self.dram.iter().any(|d| !d.is_idle())
-            || self
-                .grids
-                .values()
-                .any(|g| g.armed_at.is_some_and(|t| t > now));
-        if progress {
-            self.last_progress = now;
-        }
-
-        // 7. Interval sampler: close a window at each absolute multiple of
-        // the sampling period. One branch when sampling is off.
-        if self.config.sample_interval_cycles != 0
-            && now.is_multiple_of(self.config.sample_interval_cycles)
-        {
-            self.flush_sample();
-        }
-    }
-
-    fn spawn_child(&mut self, parent_sm: usize, l: ggpu_sm::DeviceLaunch) {
-        if self.fault.is_some() {
-            return;
-        }
-        let parent = self.grids.get(&l.parent_grid);
-        let depth = parent.map(|g| g.depth).unwrap_or(0) + 1;
-        let forced_full = self
-            .config
-            .fault_plan
-            .cdp_full_at
-            .is_some_and(|c| self.cycle >= c);
-        let queue_full = forced_full || self.device_queue.len() >= self.config.cdp_queue_limit;
-        let too_deep = depth > self.config.cdp_max_depth;
-        if queue_full || too_deep {
-            let kind = if queue_full {
-                FaultKind::CdpQueueOverflow
-            } else {
-                FaultKind::CdpNestingExceeded
-            };
-            let kernel = parent
-                .map(|g| g.kernel)
-                .and_then(|k| self.program.get(k))
-                .map(|k| k.name.clone())
-                .unwrap_or_else(|| "?".to_string());
-            self.fault = Some(SimError::DeviceFault(Box::new(DeviceFault {
-                kind,
-                kernel: kernel.clone(),
-                sm: parent_sm,
-                cta: None,
-                warp: None,
-                warp_in_cta: None,
-                lane_mask: None,
-                pc: None,
-                instr: format!("launch k{} grid {} block {}", l.kernel, l.grid_x, l.block_x),
-                addr: None,
-                cycle: self.cycle,
-            })));
-            if self.trace_on() {
-                self.emit(TraceEventKind::Fault { kind, kernel });
-            }
-            return;
-        }
-        let kernel = KernelId(l.kernel);
-        let program = Arc::clone(&self.program);
-        let k = match program.get(kernel) {
-            Some(k) => k,
-            None => return,
-        };
-        let dims = LaunchDims::linear(l.grid_x, l.block_x);
-        let (local_base, local_stride) = self.alloc_local_arena(k, dims);
-        let const_data = self
-            .const_bindings
-            .get(&l.kernel)
-            .cloned()
-            .unwrap_or_else(|| Arc::new(Vec::new()));
-        let handle = self.next_grid;
-        self.next_grid += 1;
-        self.grids.insert(
-            handle,
-            Grid {
-                kernel,
-                dims,
-                params: Arc::new(l.params),
-                const_data,
-                local_base,
-                local_stride,
-                next_cta: 0,
-                done_ctas: 0,
-                parent: Some((parent_sm, l.parent_slot, l.parent_grid)),
-                armed_at: Some(self.cycle + self.config.cdp_launch_overhead),
-                from_host: false,
-                depth,
-                launch_cycle: self.cycle,
-                start_cycle: None,
-            },
-        );
-        self.device_queue.push_back(handle);
-        if self.trace_on() {
-            self.emit(TraceEventKind::CdpEnqueue {
-                grid: handle,
-                kernel: self.kernel_name(kernel),
-                parent: l.parent_grid,
-                depth,
-                ctas: dims.num_ctas(),
-                threads_per_cta: dims.threads_per_cta(),
-            });
         }
     }
 }

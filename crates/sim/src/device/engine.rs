@@ -1,0 +1,497 @@
+//! The cycle engine: event delivery, DRAM, the SM phase, end-of-cycle
+//! commit, `synchronize`, and fault/deadlock handling.
+//!
+//! One device cycle has three strictly ordered phases:
+//!
+//! 1. **Pre** ([`Gpu::cycle_pre`], serial) — due network packets are
+//!    delivered (replies into each SM's inbound port, requests into the L2
+//!    slices), DRAM channels tick, and CTAs dispatch.
+//! 2. **SM** (parallelizable) — every lane ticks against a *read-only*
+//!    snapshot of device memory, writing only its own core state and its
+//!    own ports. Lanes share nothing, so this phase may run on any number
+//!    of threads (see [`super::parallel`]).
+//! 3. **Post** ([`Gpu::cycle_post`], serial) — each lane's output is
+//!    drained in SM-index order: deferred stores/atomics commit to memory,
+//!    requests enter the interconnect, CDP launches spawn, completed CTAs
+//!    retire, and traps resolve. Because the merge order is (SM index,
+//!    issue order) no matter how phase 2 was scheduled, every counter,
+//!    profile, and trace is bit-identical for any thread count.
+
+use ggpu_mem::{CacheOutcome, LINE_BYTES};
+use ggpu_sm::{MemRequest, ReqKind, SmCore, Trap, WarpReport, WarpWait};
+
+use crate::error::{DeadlockReport, DeviceFault, SimError};
+use crate::memory::DeviceMemory;
+use crate::trace::TraceEventKind;
+
+use super::parallel::{LaneSet, SmLane};
+use super::Gpu;
+
+/// Absolute backstop on simulated cycles per `synchronize`. The configurable
+/// forward-progress watchdog ([`crate::GpuConfig::watchdog_cycles`])
+/// normally fires long before this; the backstop only matters if a workload
+/// keeps producing token progress (e.g. one instruction every few thousand
+/// cycles) forever.
+const MAX_SYNC_CYCLES: u64 = 2_000_000_000;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum Ev {
+    /// A request packet arrived at its memory partition.
+    L2Arrive {
+        sm: usize,
+        id: u64,
+        addr: u64,
+        kind: u8,
+        tex: bool,
+    },
+    /// A reply packet arrived back at its SM.
+    Reply { sm: usize, id: u64 },
+}
+
+#[derive(Debug)]
+pub(super) enum DramTarget {
+    /// Fill an L2 line and answer the waiters registered under it.
+    Fill { part: usize, line: u64 },
+    /// Pure write traffic; nothing to do on completion.
+    Write,
+}
+
+impl Gpu {
+    /// Whether any work remains on the device.
+    pub fn busy(&self) -> bool {
+        self.busy_over(self.lanes.iter().map(|l| &l.core))
+    }
+
+    pub(super) fn busy_with(&self, lanes: &LaneSet<'_>) -> bool {
+        self.busy_over(lanes.cores())
+    }
+
+    fn busy_over<'a>(&self, mut cores: impl Iterator<Item = &'a SmCore>) -> bool {
+        !self.grids.is_empty()
+            || !self.events.is_empty()
+            || cores.any(|s| !s.is_idle() || s.has_outstanding())
+            || self.dram.iter().any(|d| !d.is_idle())
+    }
+
+    /// Run the device until all launched grids complete; returns elapsed
+    /// kernel cycles.
+    ///
+    /// When a warp raises a guest fault, the device drains in-flight work,
+    /// enters the (sticky) fault state, and this returns the
+    /// [`SimError::DeviceFault`]. When the forward-progress watchdog sees
+    /// no activity for [`crate::GpuConfig::watchdog_cycles`] consecutive
+    /// cycles, the device is halted the same way and this returns a
+    /// [`SimError::Deadlock`] with a per-warp blocked-state report. Either
+    /// way the `Gpu` stays usable after [`Gpu::reset_fault`].
+    pub fn try_synchronize(&mut self) -> Result<u64, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        let start = self.cycle;
+        self.last_progress = self.cycle;
+        let threads = self.config.sim_threads.clamp(1, self.lanes.len().max(1));
+        // Check the lanes and memory out of `self` for the duration of the
+        // run: the cycle phases borrow them independently of the rest of
+        // the device state (and the parallel executor moves them into
+        // shared structures).
+        let mut lanes = std::mem::take(&mut self.lanes);
+        let mut mem = std::mem::take(&mut self.mem);
+        let result = if threads <= 1 {
+            self.sync_serial(start, &mut lanes, &mut mem)
+        } else {
+            self.sync_parallel(start, threads, &mut lanes, &mut mem)
+        };
+        self.lanes = lanes;
+        self.mem = mem;
+        let elapsed = self.cycle - start;
+        self.host.kernel_cycles += elapsed;
+        self.flush_sample();
+        result.map(|()| elapsed)
+    }
+
+    /// Run the device until all launched grids complete; returns elapsed
+    /// kernel cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Gpu::try_synchronize`] would return an error (guest
+    /// fault or deadlock).
+    pub fn synchronize(&mut self) -> u64 {
+        self.try_synchronize()
+            .unwrap_or_else(|e| panic!("synchronize failed: {e}"))
+    }
+
+    /// The classic single-threaded loop: every phase runs on this thread.
+    fn sync_serial(
+        &mut self,
+        start: u64,
+        lanes: &mut [SmLane],
+        mem: &mut DeviceMemory,
+    ) -> Result<(), SimError> {
+        let mut ls = LaneSet::single(lanes);
+        while self.busy_with(&ls) {
+            let (now, device_busy) = self.cycle_pre(&mut ls);
+            for lane in ls.iter_mut() {
+                lane.core.tick(now, &*mem, device_busy, &mut lane.ports);
+            }
+            self.cycle_post(&mut ls, mem, now);
+            if let Some(outcome) = self.sync_check(start, &mut ls) {
+                return outcome;
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-cycle fault/watchdog check shared by the serial and parallel
+    /// loops. `Some(Err(..))` ends the run; `None` continues it.
+    pub(super) fn sync_check(
+        &mut self,
+        start: u64,
+        lanes: &mut LaneSet<'_>,
+    ) -> Option<Result<(), SimError>> {
+        if let Some(f) = self.fault.clone() {
+            return Some(Err(f));
+        }
+        let stalled = self.cycle - self.last_progress;
+        if stalled >= self.config.watchdog_cycles || self.cycle - start >= MAX_SYNC_CYCLES {
+            let err = SimError::Deadlock(Box::new(self.deadlock_report_with(stalled, lanes)));
+            self.fault = Some(err.clone());
+            if self.trace_on() {
+                self.emit(TraceEventKind::Deadlock {
+                    stalled_for: stalled,
+                });
+            }
+            self.halt_device_with(lanes);
+            return Some(Err(err));
+        }
+        None
+    }
+
+    /// Advance the device one cycle. No-op while the device is in the fault
+    /// state (until [`Gpu::reset_fault`]).
+    pub fn tick(&mut self) {
+        if self.fault.is_some() {
+            return;
+        }
+        let mut lanes = std::mem::take(&mut self.lanes);
+        let mut mem = std::mem::take(&mut self.mem);
+        {
+            let mut ls = LaneSet::single(&mut lanes);
+            let (now, device_busy) = self.cycle_pre(&mut ls);
+            for lane in ls.iter_mut() {
+                lane.core.tick(now, &mem, device_busy, &mut lane.ports);
+            }
+            self.cycle_post(&mut ls, &mut mem, now);
+        }
+        self.lanes = lanes;
+        self.mem = mem;
+    }
+
+    /// Serial pre-SM phase: deliver due packets, tick DRAM, dispatch CTAs.
+    /// Returns `(now, device_busy)` for the SM phase.
+    pub(super) fn cycle_pre(&mut self, lanes: &mut LaneSet<'_>) -> (u64, bool) {
+        self.cycle += 1;
+        let now = self.cycle;
+
+        // 1. Deliver due network events. Replies land in the owning SM's
+        // inbound port and are consumed at the start of its tick this same
+        // cycle, preserving the pre-port `mem_response(id, now)` timing.
+        while let Some(ev) = self.events.pop_due(now) {
+            match ev {
+                Ev::L2Arrive {
+                    sm,
+                    id,
+                    addr,
+                    kind,
+                    tex,
+                } => self.handle_l2_arrive(sm, id, addr, kind, tex),
+                Ev::Reply { sm, id } => lanes.get_mut(sm).ports.replies.push(id),
+            }
+        }
+
+        // 2. DRAM channels.
+        self.dram_tick();
+
+        // 3. CTA dispatch (children first, then the head host grid).
+        self.arm_and_dispatch(lanes);
+
+        let device_busy = self
+            .grids
+            .values()
+            .any(|g| !g.fully_dispatched() || g.armed_at.map(|t| now < t).unwrap_or(true));
+        (now, device_busy)
+    }
+
+    /// Serial post-SM phase: drain every lane's output in SM-index order
+    /// (the deterministic merge), then resolve faults, feed the watchdog,
+    /// and sample.
+    pub(super) fn cycle_post(&mut self, lanes: &mut LaneSet<'_>, mem: &mut DeviceMemory, now: u64) {
+        // 4. Merge the SM outputs. Each lane's buffers are swapped out,
+        // drained in place (retaining capacity), and swapped back — the
+        // steady-state hot path allocates nothing.
+        let mut first_trap: Option<(usize, Trap)> = None;
+        let mut issued = 0u64;
+        for sm in 0..lanes.len() {
+            let mut out = std::mem::take(&mut lanes.get_mut(sm).ports.out);
+            lanes.get_mut(sm).core.commit_mem_ops(mem, &mut out.mem_ops);
+            for req in out.mem_requests.drain(..) {
+                self.route_request(sm, req);
+            }
+            for l in out.launches.drain(..) {
+                self.spawn_child(sm, l, mem);
+            }
+            for c in out.completed.drain(..) {
+                if let Some(g) = self.grids.get_mut(&c.grid_handle) {
+                    g.done_ctas += 1;
+                    if g.finished() {
+                        self.grid_done(c.grid_handle, lanes);
+                    }
+                }
+            }
+            for t in out.traps.drain(..) {
+                if first_trap.is_none() {
+                    first_trap = Some((sm, t));
+                }
+            }
+            issued += out.issued;
+            out.issued = 0;
+            lanes.get_mut(sm).ports.out = out;
+        }
+
+        // 5. Fault resolution: the first trap of the cycle (or a CDP-limit
+        // fault raised in `spawn_child`) puts the device into the sticky
+        // fault state and halts it.
+        if self.fault.is_none() {
+            if let Some((sm, t)) = first_trap {
+                self.fault = Some(self.fault_from_trap(sm, &t));
+                if self.trace_on() {
+                    self.emit(TraceEventKind::Fault {
+                        kind: t.kind,
+                        kernel: self.kernel_name(t.kernel),
+                    });
+                }
+            }
+        }
+        if self.fault.is_some() {
+            self.halt_device_with(lanes);
+            return;
+        }
+
+        // 6. Forward-progress watchdog bookkeeping. Progress means: an
+        // instruction issued, a network packet is still in flight, a DRAM
+        // channel is working, or a grid is waiting out its launch overhead.
+        let progress = issued > 0
+            || !self.events.is_empty()
+            || self.dram.iter().any(|d| !d.is_idle())
+            || self
+                .grids
+                .values()
+                .any(|g| g.armed_at.is_some_and(|t| t > now));
+        if progress {
+            self.last_progress = now;
+        }
+
+        // 7. Interval sampler: close a window at each absolute multiple of
+        // the sampling period. One branch when sampling is off.
+        if self.config.sample_interval_cycles != 0
+            && now.is_multiple_of(self.config.sample_interval_cycles)
+        {
+            self.flush_sample_with(lanes);
+        }
+    }
+
+    // ---- network / memory-partition internals -----------------------------
+
+    #[inline]
+    fn partition_of(&self, addr: u64) -> usize {
+        ((addr / 256) % self.config.n_partitions as u64) as usize
+    }
+
+    fn route_request(&mut self, sm: usize, req: MemRequest) {
+        let part = self.partition_of(req.addr);
+        let bytes = match req.kind {
+            ReqKind::Load => 32,
+            ReqKind::Store => 8 + LINE_BYTES as u32,
+            ReqKind::Atomic => 40,
+        };
+        let t = self.icnt_req.send(
+            self.icnt_req.src_node(sm),
+            self.icnt_req.dst_node(part),
+            bytes,
+            self.cycle,
+        );
+        let kind = match req.kind {
+            ReqKind::Load => 0,
+            ReqKind::Store => 1,
+            ReqKind::Atomic => 2,
+        };
+        self.events.push(
+            t.max(self.cycle + 1),
+            Ev::L2Arrive {
+                sm,
+                id: req.id,
+                addr: req.addr,
+                kind,
+                tex: req.tex,
+            },
+        );
+    }
+
+    fn enqueue_dram(&mut self, part: usize, addr: u64, target: DramTarget) {
+        let key = self.next_dram_key;
+        self.next_dram_key += 1;
+        self.dram_inflight.insert(key, target);
+        self.dram[part].enqueue(key, addr, self.cycle);
+    }
+
+    fn send_reply(&mut self, part: usize, sm: usize, id: u64, extra_delay: u64) {
+        let n = self.replies_sent;
+        self.replies_sent += 1;
+        if self.config.fault_plan.drop_reply == Some(n) {
+            // Injected loss: the waiting warp never unblocks and the
+            // watchdog reports the hang.
+            return;
+        }
+        let t = self.icnt_rep.send(
+            self.icnt_rep.dst_node(part),
+            self.icnt_rep.src_node(sm),
+            8 + LINE_BYTES as u32,
+            self.cycle + extra_delay,
+        );
+        self.events
+            .push(t.max(self.cycle + 1), Ev::Reply { sm, id });
+    }
+
+    fn handle_l2_arrive(&mut self, sm: usize, id: u64, addr: u64, kind: u8, tex: bool) {
+        let part = self.partition_of(addr);
+        let line = addr / LINE_BYTES;
+        match kind {
+            // Load or atomic: read path through L2.
+            0 | 2 => match self.l2[part].access(addr, false) {
+                CacheOutcome::Hit => {
+                    self.send_reply(part, sm, id, self.config.l2_latency);
+                }
+                CacheOutcome::MshrMerged => {
+                    self.l2_waiters
+                        .entry((part, line))
+                        .or_default()
+                        .push((sm, id));
+                }
+                _ => {
+                    self.l2_waiters
+                        .entry((part, line))
+                        .or_default()
+                        .push((sm, id));
+                    self.enqueue_dram(part, addr, DramTarget::Fill { part, line });
+                }
+            },
+            // Store: write-through L2 (update on hit, stream to DRAM).
+            _ => {
+                let _ = self.l2[part].access(addr, true);
+                let _ = tex;
+                self.enqueue_dram(part, addr, DramTarget::Write);
+            }
+        }
+    }
+
+    fn dram_tick(&mut self) {
+        for part in 0..self.dram.len() {
+            for key in self.dram[part].tick(self.cycle) {
+                match self.dram_inflight.remove(&key) {
+                    Some(DramTarget::Fill { part, line }) => {
+                        self.l2[part].fill(line * LINE_BYTES, false);
+                        if self.config.trace_cache_fills && self.trace_on() {
+                            self.emit(TraceEventKind::CacheFill {
+                                partition: part as u64,
+                                addr: line * LINE_BYTES,
+                            });
+                        }
+                        if let Some(waiters) = self.l2_waiters.remove(&(part, line)) {
+                            for (sm, id) in waiters {
+                                self.send_reply(part, sm, id, 0);
+                            }
+                        }
+                    }
+                    Some(DramTarget::Write) | None => {}
+                }
+            }
+        }
+    }
+
+    // ---- fault handling ---------------------------------------------------
+
+    /// Compose the host-facing error for a warp trap raised on SM `sm`.
+    fn fault_from_trap(&self, sm: usize, t: &Trap) -> SimError {
+        let kernel = self
+            .program
+            .get(t.kernel)
+            .map(|k| k.name.clone())
+            .unwrap_or_else(|| format!("k{}", t.kernel.0));
+        SimError::DeviceFault(Box::new(DeviceFault {
+            kind: t.kind,
+            kernel,
+            sm,
+            cta: Some(t.cta_linear),
+            warp: Some(t.warp),
+            warp_in_cta: Some(t.warp_in_cta),
+            lane_mask: Some(t.lane_mask),
+            pc: Some(t.pc),
+            instr: t.instr.clone(),
+            addr: t.addr,
+            cycle: self.cycle,
+        }))
+    }
+
+    /// Halt the device after a fault: abort resident work on every SM, drop
+    /// queued grids and in-flight packets, and drain the DRAM channels so
+    /// the device returns to a clean idle state. Memory contents, cache
+    /// tags, and statistics survive.
+    fn halt_device_with(&mut self, lanes: &mut LaneSet<'_>) {
+        for lane in lanes.iter_mut() {
+            lane.core.abort_workload();
+        }
+        self.events.clear();
+        self.host_queue.clear();
+        self.device_queue.clear();
+        self.grids.clear();
+        self.l2_waiters.clear();
+        self.dram_inflight.clear();
+        for d in &mut self.dram {
+            d.clear_overflow();
+        }
+        // Drain DRAM off the device clock; completions are discarded since
+        // their waiters were just aborted. Bounded: one issue per cycle and
+        // bounded per-request latency, the cap is never the limiter.
+        let mut t = self.cycle;
+        let deadline = self.cycle + 1_000_000;
+        while self.dram.iter().any(|d| !d.is_idle()) && t < deadline {
+            t += 1;
+            for d in &mut self.dram {
+                let _ = d.tick(t);
+            }
+        }
+    }
+
+    /// Snapshot everything a deadlock post-mortem needs. Must run *before*
+    /// [`Gpu::halt_device_with`] wipes the state it describes.
+    fn deadlock_report_with(&self, stalled_for: u64, lanes: &LaneSet<'_>) -> DeadlockReport {
+        let mut warps: Vec<WarpReport> = Vec::new();
+        for (i, sm) in lanes.cores().enumerate() {
+            warps.extend(
+                sm.warp_report(i)
+                    .into_iter()
+                    .filter(|w| w.wait != WarpWait::Done),
+            );
+        }
+        DeadlockReport {
+            cycle: self.cycle,
+            stalled_for,
+            warps,
+            host_queue: self.host_queue.len(),
+            device_queue: self.device_queue.len(),
+            events_in_flight: self.events.len(),
+            outstanding_requests: lanes.cores().map(|s| s.outstanding_requests()).sum(),
+            dram_queued: self.dram.iter().map(|d| d.queue_depth()).sum::<usize>(),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Host-side memory API: `malloc`, PCIe transfers, and constant binding.
+//!
+//! Each operation comes in a fallible `try_*` flavour returning
+//! `Result<_, SimError>` and a thin panicking wrapper keeping the original
+//! signature. Guest faults and deadlocks are *sticky*: after one, every
+//! `try_*` call returns the same error until [`Gpu::reset_fault`].
+
+use std::sync::Arc;
+
+use ggpu_isa::KernelId;
+
+use crate::error::SimError;
+use crate::memory::DevicePtr;
+use crate::trace::{CopyDir, TraceEventKind};
+
+use super::Gpu;
+
+impl Gpu {
+    /// Allocate device memory, failing when the configured capacity
+    /// ([`crate::GpuConfig::memory_limit`]) would be exceeded.
+    ///
+    /// Allocation failure is *not* sticky (as in CUDA): the device stays
+    /// usable and smaller allocations may still succeed.
+    pub fn try_malloc(&mut self, bytes: u64) -> Result<DevicePtr, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        let in_use = self.mem.allocated();
+        if bytes.saturating_add(in_use) > self.config.memory_limit {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                in_use,
+                limit: self.config.memory_limit,
+            });
+        }
+        Ok(self.mem.alloc(bytes))
+    }
+
+    /// Allocate device memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Gpu::try_malloc`] would return an error.
+    pub fn malloc(&mut self, bytes: u64) -> DevicePtr {
+        self.try_malloc(bytes)
+            .unwrap_or_else(|e| panic!("malloc failed: {e}"))
+    }
+
+    /// Copy host data to the device (one PCI transaction).
+    pub fn try_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> Result<(), SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        self.mem.write_slice(dst, data);
+        let cost = self.config.pcie.latency
+            + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        self.host.pci_count += 1;
+        self.host.h2d_bytes += data.len() as u64;
+        self.host.pci_cycles += cost;
+        if self.trace_on() {
+            self.emit(TraceEventKind::Memcpy {
+                dir: CopyDir::H2D,
+                bytes: data.len() as u64,
+                cycles: cost,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copy host data to the device (one PCI transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is in the fault state.
+    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) {
+        self.try_memcpy_h2d(dst, data)
+            .unwrap_or_else(|e| panic!("memcpy_h2d failed: {e}"));
+    }
+
+    /// Copy device data back to the host (one PCI transaction).
+    pub fn try_memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Result<Vec<u8>, SimError> {
+        if let Some(f) = self.fault.clone() {
+            return Err(f);
+        }
+        let cost =
+            self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
+        self.host.pci_count += 1;
+        self.host.d2h_bytes += len as u64;
+        self.host.pci_cycles += cost;
+        if self.trace_on() {
+            self.emit(TraceEventKind::Memcpy {
+                dir: CopyDir::D2H,
+                bytes: len as u64,
+                cycles: cost,
+            });
+        }
+        Ok(self.mem.read_slice(src, len))
+    }
+
+    /// Copy device data back to the host (one PCI transaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the device is in the fault state.
+    pub fn memcpy_d2h(&mut self, src: DevicePtr, len: usize) -> Vec<u8> {
+        self.try_memcpy_d2h(src, len)
+            .unwrap_or_else(|e| panic!("memcpy_d2h failed: {e}"))
+    }
+
+    /// Bind a constant-memory image to a kernel (as `cudaMemcpyToSymbol`
+    /// would); inherited by CDP children of the same kernel id.
+    pub fn bind_constants(&mut self, kernel: KernelId, data: Vec<u8>) {
+        self.const_bindings.insert(kernel.0, Arc::new(data));
+    }
+}

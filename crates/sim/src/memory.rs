@@ -130,7 +130,7 @@ impl GlobalMem for DeviceMemory {
         None
     }
 
-    fn read(&mut self, addr: u64, width: Width) -> u64 {
+    fn read(&self, addr: u64, width: Width) -> u64 {
         let mut v = 0u64;
         for i in 0..width.bytes() {
             let b = self.data.get((addr + i) as usize).copied().unwrap_or(0);
@@ -187,15 +187,15 @@ mod tests {
         let p = m.alloc(8);
         m.write_u64(p, 0x1122334455667788);
         assert_eq!(m.read_u64(p), 0x1122334455667788);
-        assert_eq!(GlobalMem::read(&mut m, p.0, Width::B8), 0x88);
-        assert_eq!(GlobalMem::read(&mut m, p.0 + 1, Width::B16), 0x6677);
-        assert_eq!(GlobalMem::read(&mut m, p.0, Width::B32), 0x55667788);
+        assert_eq!(GlobalMem::read(&m, p.0, Width::B8), 0x88);
+        assert_eq!(GlobalMem::read(&m, p.0 + 1, Width::B16), 0x6677);
+        assert_eq!(GlobalMem::read(&m, p.0, Width::B32), 0x55667788);
     }
 
     #[test]
     fn unwritten_reads_zero() {
-        let mut m = DeviceMemory::new();
-        assert_eq!(GlobalMem::read(&mut m, 1 << 40, Width::B64), 0);
+        let m = DeviceMemory::new();
+        assert_eq!(GlobalMem::read(&m, 1 << 40, Width::B64), 0);
     }
 
     #[test]

@@ -24,12 +24,13 @@
 mod coalesce;
 mod config;
 mod core;
+mod ports;
 mod stats;
 mod warp;
 
-pub use crate::core::{
-    CompletedCta, CtaConfig, DeviceLaunch, GlobalMem, MemRequest, ReqKind, SmCore, TickOutput,
-    Trap, WarpReport, WarpWait,
+pub use crate::core::{CtaConfig, GlobalMem, SmCore, Trap, WarpReport, WarpWait};
+pub use crate::ports::{
+    CompletedCta, DeviceLaunch, MemOp, MemRequest, ReqKind, SmPorts, TickOutput,
 };
 pub use coalesce::{bank_conflict_degree, coalesce_lines, SMEM_BANKS};
 pub use config::{LatencyConfig, SchedPolicy, SmConfig};
@@ -99,16 +100,21 @@ pub fn run_standalone(
 ) -> Result<(u64, Vec<DeviceLaunch>), HangDiagnostic> {
     let mut launches = Vec::new();
     let mut traps = Vec::new();
+    let mut ports = SmPorts::new();
     for now in 0..max_cycles {
-        let mut out = TickOutput::default();
-        sm.tick(now, mem, false, &mut out);
-        for req in out.mem_requests {
+        sm.tick(now, &*mem, false, &mut ports);
+        sm.commit_mem_ops(mem, &mut ports.out.mem_ops);
+        // Answer every non-store request one cycle later: replies pushed
+        // here are drained at the start of the next tick (cycle now + 1).
+        let SmPorts { replies, out } = &mut ports;
+        for req in out.mem_requests.drain(..) {
             if req.kind != ReqKind::Store {
-                sm.mem_response(req.id, now + 1);
+                replies.push(req.id);
             }
         }
-        launches.extend(out.launches);
-        traps.extend(out.traps);
+        launches.append(&mut out.launches);
+        traps.append(&mut out.traps);
+        out.completed.clear();
         if !traps.is_empty() {
             return Err(HangDiagnostic {
                 cycles: now,
@@ -146,7 +152,7 @@ mod tests {
     }
 
     impl GlobalMem for TestMem {
-        fn read(&mut self, addr: u64, width: Width) -> u64 {
+        fn read(&self, addr: u64, width: Width) -> u64 {
             let mut v = 0u64;
             for i in 0..width.bytes() {
                 v |= (*self.data.get(&(addr + i)).unwrap_or(&0) as u64) << (8 * i);
@@ -451,17 +457,16 @@ mod tests {
 
         let mut launches: Vec<DeviceLaunch> = Vec::new();
         let mut released = false;
+        let mut ports = SmPorts::new();
         for now in 0..20_000 {
-            let mut out = TickOutput::default();
-            sm.tick(now, &mut mem, false, &mut out);
-            for req in out.mem_requests {
+            sm.tick(now, &mem, false, &mut ports);
+            sm.commit_mem_ops(&mut mem, &mut ports.out.mem_ops);
+            for req in ports.out.mem_requests.drain(..) {
                 if req.kind != ReqKind::Store {
                     sm.mem_response(req.id, now + 1);
                 }
             }
-            if !out.launches.is_empty() {
-                launches.extend(out.launches);
-            }
+            launches.append(&mut ports.out.launches);
             if !launches.is_empty() && now > 500 && !released {
                 sm.child_grid_done(launches[0].parent_slot, None);
                 released = true;
@@ -528,10 +533,11 @@ mod tests {
 
         let mut pending: Vec<(u64, u64)> = Vec::new();
         let mut finished = false;
+        let mut ports = SmPorts::new();
         for now in 0..1_000_000 {
-            let mut out = TickOutput::default();
-            sm.tick(now, &mut mem, false, &mut out);
-            for req in out.mem_requests {
+            sm.tick(now, &mem, false, &mut ports);
+            sm.commit_mem_ops(&mut mem, &mut ports.out.mem_ops);
+            for req in ports.out.mem_requests.drain(..) {
                 if req.kind != ReqKind::Store {
                     pending.push((req.id, now + 200));
                 }
@@ -613,10 +619,11 @@ mod tests {
             sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 32), vec![]));
             let mut mem = TestMem::default();
             let mut pending: Vec<(u64, u64)> = Vec::new();
+            let mut ports = SmPorts::new();
             for now in 0..1_000_000 {
-                let mut out = TickOutput::default();
-                sm.tick(now, &mut mem, false, &mut out);
-                for req in out.mem_requests {
+                sm.tick(now, &mem, false, &mut ports);
+                sm.commit_mem_ops(&mut mem, &mut ports.out.mem_ops);
+                for req in ports.out.mem_requests.drain(..) {
                     if req.kind != ReqKind::Store {
                         pending.push((req.id, now + 300));
                     }
@@ -715,7 +722,7 @@ mod tests {
     }
 
     impl GlobalMem for BoundedMem {
-        fn read(&mut self, addr: u64, width: Width) -> u64 {
+        fn read(&self, addr: u64, width: Width) -> u64 {
             self.inner.read(addr, width)
         }
         fn write(&mut self, addr: u64, width: Width, value: u64) {
@@ -876,9 +883,10 @@ mod tests {
         sm.try_launch_cta(cta_cfg(&program, LaunchDims::linear(1, 64), vec![0x1000]));
         let mut mem = TestMem::default();
         // Run a few cycles so requests are in flight, then abort.
+        let mut ports = SmPorts::new();
         for now in 0..10 {
-            let mut out = TickOutput::default();
-            sm.tick(now, &mut mem, false, &mut out);
+            sm.tick(now, &mem, false, &mut ports);
+            sm.commit_mem_ops(&mut mem, &mut ports.out.mem_ops);
         }
         assert!(!sm.is_idle());
         sm.abort_workload();
