@@ -35,28 +35,33 @@ fn engine_cfg(threads: usize) -> GpuConfig {
     .with_sim_threads(threads)
 }
 
-/// Run the probe workload once; returns simulated kernel cycles.
-fn run_workload(scale: Scale, threads: usize) -> u64 {
+/// Run the probe workload once; returns simulated kernel cycles and the
+/// resolved worker-thread count the engine actually used.
+fn run_workload(scale: Scale, threads: usize) -> (u64, usize) {
     let config = engine_cfg(threads);
     let b = benchmark(scale, "SW").expect("SW is registered");
     let r = b.run(&config, false);
     assert!(r.verified, "probe workload must verify");
-    r.kernel_cycles
+    (r.kernel_cycles, r.sim_threads)
 }
 
-/// Measure simulated cycles per wall-second at `threads` workers.
-fn measure(scale: Scale, threads: usize, iters: u32) -> (u64, f64) {
+/// Measure simulated cycles per wall-second at `threads` workers; also
+/// returns the resolved thread count actually used.
+fn measure(scale: Scale, threads: usize, iters: u32) -> (u64, f64, usize) {
     let t0 = Instant::now();
     let mut cycles = 0u64;
+    let mut resolved = 1;
     for _ in 0..iters {
-        cycles += run_workload(scale, threads);
+        let (c, r) = run_workload(scale, threads);
+        cycles += c;
+        resolved = r;
     }
-    (cycles, t0.elapsed().as_secs_f64())
+    (cycles, t0.elapsed().as_secs_f64(), resolved)
 }
 
 fn export_json(scale: Scale, iters: u32) {
-    let (cycles_1, secs_1) = measure(scale, 1, iters);
-    let (cycles_n, secs_n) = measure(scale, PARALLEL_THREADS, iters);
+    let (cycles_1, secs_1, _) = measure(scale, 1, iters);
+    let (cycles_n, secs_n, resolved_n) = measure(scale, PARALLEL_THREADS, iters);
     let rate_1 = cycles_1 as f64 / secs_1.max(1e-9);
     let rate_n = cycles_n as f64 / secs_n.max(1e-9);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -75,6 +80,7 @@ fn export_json(scale: Scale, iters: u32) {
         .u64("iterations", iters as u64)
         .u64("host_parallelism", host as u64)
         .u64("sim_threads_parallel", PARALLEL_THREADS as u64)
+        .u64("sim_threads_resolved", resolved_n as u64)
         .u64("simulated_cycles_per_run", cycles_1 / iters as u64)
         .f64("cycles_per_sec_1_thread", rate_1)
         .f64("cycles_per_sec_n_threads", rate_n)
@@ -116,7 +122,7 @@ fn bench_engine(c: &mut Criterion) {
     g.sample_size(if quick_mode() { 1 } else { 3 });
     for threads in [1usize, PARALLEL_THREADS] {
         g.bench_function(format!("sw_{threads}_threads"), |bch| {
-            bch.iter(|| run_workload(scale, threads))
+            bch.iter(|| run_workload(scale, threads).0)
         });
     }
     g.finish();

@@ -861,6 +861,7 @@ pub fn profile(scale: Scale, write_json: bool, write_trace: bool) {
                 format!("{children}"),
                 format!("{}", p.samples.len()),
                 format!("{}", p.events.len()),
+                format!("{}", p.dropped_total()),
                 format!("{:.3}", p.stats.ipc()),
             ]);
             profiles.push((label, p));
@@ -874,6 +875,7 @@ pub fn profile(scale: Scale, write_json: bool, write_trace: bool) {
             "CDP children",
             "samples",
             "events",
+            "dropped",
             "IPC",
         ],
         &rows,

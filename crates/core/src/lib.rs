@@ -28,9 +28,11 @@ use std::time::Instant;
 
 pub use ggpu_kernels::{all_benchmarks, BenchResult, Benchmark, KernelResources, Scale, Table3Row};
 pub use ggpu_sim::{
-    chrome_trace_json, json, run_stats_json, DeadlockReport, DeviceFault, FaultKind, FaultPlan,
-    Gpu, GpuConfig, IntervalSample, KernelRecord, LaunchProblem, ProfileReport, RunStats, SimError,
-    TraceBuffer, TraceEvent, TraceEventKind, TraceSink,
+    chrome_trace_json, json, run_stats_json, CacheStats, DeadlockReport, DeviceFault, DramStats,
+    FaultKind, FaultPlan, Gpu, GpuConfig, IntervalSample, KernelPcProfile, KernelRecord,
+    LaunchProblem, PartitionUnit, PcCounters, PcProfile, PcProfileRow, ProfileReport, RunStats,
+    SimError, SmStats, SmUnit, StallBreakdown, StallReason, TraceBuffer, TraceEvent,
+    TraceEventKind, TraceSink, UnitProfile,
 };
 
 use ggpu_genomics::{nw_score, sequence_family, sw_score, GapModel, Simple};

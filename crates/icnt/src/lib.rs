@@ -198,6 +198,10 @@ pub struct Icnt {
     /// Capacity multiplier per link (fat tree's fatter upper levels).
     link_capacity: Vec<u32>,
     stats: IcntStats,
+    /// Packets injected per endpoint node (spatial attribution axis).
+    injected: Vec<u64>,
+    /// Packets delivered per endpoint node (spatial attribution axis).
+    delivered: Vec<u64>,
     /// Mesh side length (router grid is side × side).
     side: usize,
     /// Butterfly: number of stages over `fly_n = 2^stages` endpoints.
@@ -256,6 +260,8 @@ impl Icnt {
             links: vec![0; n_links],
             link_capacity: capacities,
             stats: IcntStats::default(),
+            injected: vec![0; n_total],
+            delivered: vec![0; n_total],
             side,
             stages,
             fly_n,
@@ -298,6 +304,27 @@ impl Icnt {
     /// Reset statistics; link horizons are kept.
     pub fn reset_stats(&mut self) {
         self.stats = IcntStats::default();
+        for c in &mut self.injected {
+            *c = 0;
+        }
+        for c in &mut self.delivered {
+            *c = 0;
+        }
+    }
+
+    /// Packets injected per endpoint node. Endpoints `0..n_src` are the
+    /// source side ([`Icnt::src_node`]), `n_src..` the destination side
+    /// ([`Icnt::dst_node`]); each marginal (injected, delivered) sums to
+    /// the aggregate packet count because every packet has exactly one
+    /// source and one destination endpoint.
+    pub fn injected_per_node(&self) -> &[u64] {
+        &self.injected
+    }
+
+    /// Packets delivered per endpoint node (same indexing as
+    /// [`Icnt::injected_per_node`]).
+    pub fn delivered_per_node(&self) -> &[u64] {
+        &self.delivered
     }
 
     /// Flits needed for a payload of `bytes`.
@@ -326,6 +353,8 @@ impl Icnt {
         }
         let arrival = head + last_serialize.saturating_sub(1);
         self.stats.packets += 1;
+        self.injected[from.0] += 1;
+        self.delivered[to.0] += 1;
         self.stats.total_latency += arrival - now;
         self.stats.queueing += queueing;
         arrival
@@ -461,6 +490,28 @@ mod tests {
             assert!(at > 10, "{t}: delivery must take time");
             assert_eq!(n.stats().packets, 1);
         }
+    }
+
+    #[test]
+    fn endpoint_packet_counts_telescope_to_totals() {
+        let mut n = net(Topology::LocalXbar);
+        n.send(n.src_node(0), n.dst_node(3), 128, 0);
+        n.send(n.src_node(0), n.dst_node(1), 32, 0);
+        n.send(n.src_node(5), n.dst_node(3), 32, 0);
+        // Reply direction: destination-side node injecting toward a source.
+        n.send(n.dst_node(3), n.src_node(5), 32, 0);
+        assert_eq!(n.injected_per_node().iter().sum::<u64>(), n.stats().packets);
+        assert_eq!(
+            n.delivered_per_node().iter().sum::<u64>(),
+            n.stats().packets
+        );
+        assert_eq!(n.injected_per_node()[0], 2);
+        assert_eq!(n.delivered_per_node()[8 + 3], 2);
+        assert_eq!(n.injected_per_node()[8 + 3], 1);
+        assert_eq!(n.delivered_per_node()[5], 1);
+        n.reset_stats();
+        assert!(n.injected_per_node().iter().all(|&c| c == 0));
+        assert!(n.delivered_per_node().iter().all(|&c| c == 0));
     }
 
     #[test]

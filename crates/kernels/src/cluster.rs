@@ -397,6 +397,7 @@ impl Benchmark for ClusterBench {
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!(
                 "CLUSTER: {} seqs, {} clusters, cdp={}",
                 n,

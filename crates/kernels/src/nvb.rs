@@ -562,6 +562,7 @@ impl Benchmark for NvbBench {
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!(
                 "NvB: {} reads x {}bp vs {}bp genome, {} batches, cdp={}",
                 n, self.read_len, self.genome_len, self.batches, cdp

@@ -512,6 +512,7 @@ impl Benchmark for PairHmmBench {
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!(
                 "PairHMM: {} pairs ({}x{}), rows={:?}, cdp={}",
                 n, self.read_len, self.hap_len, self.rows, cdp

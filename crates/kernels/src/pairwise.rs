@@ -402,6 +402,7 @@ impl Benchmark for PairwiseBench {
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!(
                 "{}: {} pairs (max_len {}), {} batches, cdp={}",
                 self.abbrev, n, self.max_len, self.batches, cdp

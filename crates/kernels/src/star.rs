@@ -506,6 +506,7 @@ impl Benchmark for StarBench {
         BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!(
                 "STAR: {} seqs x {} bases, {} pairs, center {}, cdp={}",
                 self.n_seqs, self.seq_len, n_pairs, center, cdp

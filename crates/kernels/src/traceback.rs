@@ -544,6 +544,7 @@ impl TracebackBench {
         crate::BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified: scores == self.expected_scores,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!("GG score-only on the traceback workload ({n} pairs)"),
             stats,
             profile,
@@ -629,6 +630,7 @@ impl TracebackBench {
         crate::BenchResult {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
+            sim_threads: config.resolved_sim_threads(),
             detail: format!("GG-TB: {} pairs with full CIGAR traceback", n),
             stats,
             profile,

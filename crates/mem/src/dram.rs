@@ -127,6 +127,10 @@ pub struct Dram {
     /// (id, done_at) of requests issued but not yet reported complete.
     in_flight: Vec<(u64, u64)>,
     stats: DramStats,
+    /// Per-bank (requests serviced, row hits) — the profiler's spatial
+    /// attribution axis. Always maintained; two counter increments per
+    /// serviced request.
+    bank_stats: Vec<(u64, u64)>,
 }
 
 impl Dram {
@@ -146,6 +150,7 @@ impl Dram {
             bus_free_at: 0,
             in_flight: Vec::new(),
             stats: DramStats::default(),
+            bank_stats: vec![(0, 0); config.banks as usize],
         }
     }
 
@@ -162,6 +167,16 @@ impl Dram {
     /// Reset statistics, keeping open-row state.
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        for b in &mut self.bank_stats {
+            *b = (0, 0);
+        }
+    }
+
+    /// Per-bank `(requests, row_hits)` counters, indexed by bank. Summed
+    /// over banks they reproduce the channel's aggregate `requests` and
+    /// `row_hits`.
+    pub fn bank_stats(&self) -> &[(u64, u64)] {
+        &self.bank_stats
     }
 
     /// True when the channel has no queued, backlogged, or in-flight
@@ -251,8 +266,10 @@ impl Dram {
                 bank.ready_at = done;
                 self.bus_free_at = done;
                 self.stats.requests += 1;
+                self.bank_stats[bank_idx].0 += 1;
                 if row_hit {
                     self.stats.row_hits += 1;
+                    self.bank_stats[bank_idx].1 += 1;
                 }
                 self.stats.data_cycles += self.config.burst;
                 self.in_flight.push((req.id, done));
@@ -445,6 +462,29 @@ mod tests {
         assert!(s.efficiency() > 0.0 && s.efficiency() <= 1.0);
         assert!(s.utilization(300) > 0.0 && s.utilization(300) < s.efficiency());
         assert_eq!(s.row_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn bank_stats_telescope_to_channel_totals() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(cfg);
+        // Bank 0 twice (second is a row hit) and bank 1 once.
+        d.push(1, 0, 0);
+        d.push(2, 64, 0);
+        d.push(3, cfg.row_bytes, 0);
+        let _ = drain(&mut d, 500);
+        let s = *d.stats();
+        assert_eq!(s.requests, 3);
+        let (req_sum, hit_sum) = d
+            .bank_stats()
+            .iter()
+            .fold((0, 0), |(r, h), &(br, bh)| (r + br, h + bh));
+        assert_eq!(req_sum, s.requests);
+        assert_eq!(hit_sum, s.row_hits);
+        assert_eq!(d.bank_stats()[0], (2, 1));
+        assert_eq!(d.bank_stats()[1].0, 1);
+        d.reset_stats();
+        assert_eq!(d.bank_stats()[0], (0, 0));
     }
 
     #[test]

@@ -100,14 +100,15 @@ pub struct GpuConfig {
     /// Also emit an event per L2 line fill from DRAM. High frequency;
     /// off by default so traces stay kernel-granular.
     pub trace_cache_fills: bool,
-    /// Worker threads the cycle engine shards SMs across. `1` (the
-    /// default) runs the classic single-threaded loop. Any value produces
-    /// bit-identical [`crate::RunStats`], profiles, and traces — SMs tick
-    /// against a read-only memory snapshot and their outputs merge in
-    /// deterministic (SM index, issue order) — so this is purely a
-    /// wall-clock knob. Clamped to the SM count at `synchronize` time.
-    /// [`GpuConfig::rtx3070`] seeds it from the `GGPU_SIM_THREADS`
-    /// environment variable when set.
+    /// Worker threads the cycle engine shards SMs across. `1` runs the
+    /// classic single-threaded loop. Any value produces bit-identical
+    /// [`crate::RunStats`], profiles, and traces — SMs tick against a
+    /// read-only memory snapshot and their outputs merge in deterministic
+    /// (SM index, issue order) — so this is purely a wall-clock knob.
+    /// Clamped to the SM count at `synchronize` time (see
+    /// [`GpuConfig::resolved_sim_threads`]). [`GpuConfig::rtx3070`] seeds
+    /// it from the `GGPU_SIM_THREADS` environment variable when set,
+    /// falling back to the host's available parallelism.
     pub sim_threads: usize,
 }
 
@@ -187,6 +188,21 @@ impl GpuConfig {
         self
     }
 
+    /// Enable or disable per-PC attribution (the code axis of
+    /// [`crate::ProfileReport`]); shorthand for setting
+    /// [`ggpu_sm::SmConfig::attribution`].
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.sm.attribution = on;
+        self
+    }
+
+    /// The worker-thread count the engine will actually use: `sim_threads`
+    /// clamped to `[1, n_sms]`. Harnesses record this, not the raw knob,
+    /// so results stay interpretable on hosts with fewer cores than SMs.
+    pub fn resolved_sim_threads(&self) -> usize {
+        self.sim_threads.clamp(1, self.n_sms.max(1))
+    }
+
     /// Total L2 capacity across partitions.
     pub fn l2_total(&self) -> u64 {
         self.l2_slice.bytes * self.n_partitions as u64
@@ -194,13 +210,14 @@ impl GpuConfig {
 }
 
 /// Default engine thread count: `GGPU_SIM_THREADS` when set to a positive
-/// integer, otherwise 1 (single-threaded).
+/// integer, otherwise the host's available parallelism (the engine is
+/// bit-identical at any thread count, so defaulting to all cores is safe).
 fn sim_threads_from_env() -> usize {
     std::env::var("GGPU_SIM_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or(1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 #[cfg(test)]
@@ -255,6 +272,24 @@ mod tests {
         assert!(GpuConfig::rtx3070().sim_threads >= 1);
         assert_eq!(GpuConfig::rtx3070().with_sim_threads(4).sim_threads, 4);
         assert_eq!(GpuConfig::rtx3070().with_sim_threads(0).sim_threads, 1);
+    }
+
+    #[test]
+    fn resolved_sim_threads_clamps_to_sm_count() {
+        let c = GpuConfig::test_small().with_sim_threads(64);
+        assert_eq!(c.resolved_sim_threads(), 4);
+        assert_eq!(
+            GpuConfig::rtx3070()
+                .with_sim_threads(4)
+                .resolved_sim_threads(),
+            4
+        );
+    }
+
+    #[test]
+    fn attribution_builder_and_default() {
+        assert!(!GpuConfig::rtx3070().sm.attribution);
+        assert!(GpuConfig::rtx3070().with_attribution(true).sm.attribution);
     }
 
     #[test]

@@ -31,7 +31,10 @@ use ggpu_sm::{SmCore, SmPorts};
 use crate::config::GpuConfig;
 use crate::error::SimError;
 use crate::memory::DeviceMemory;
-use crate::profile::{IntervalSample, KernelRecord, ProfileReport, Sampler};
+use crate::profile::{
+    IntervalSample, KernelPcProfile, KernelRecord, PartitionUnit, PcProfile, PcProfileRow,
+    ProfileReport, Sampler, SmUnit, UnitProfile,
+};
 use crate::stats::{HostStats, RunStats};
 use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
 
@@ -243,6 +246,7 @@ impl Gpu {
         for lane in &mut self.lanes {
             let _ = lane.core.take_stats();
             lane.core.reset_cache_stats();
+            lane.core.reset_pc_table();
         }
         for l2 in &mut self.l2 {
             l2.reset_stats();
@@ -268,12 +272,12 @@ impl Gpu {
     // ---- profiling --------------------------------------------------------
 
     /// Whether the profiling layer is collecting anything: a trace sink is
-    /// installed and/or interval sampling is on. Per-kernel records are
-    /// collected exactly while this is true. Profiling never changes
-    /// simulated timing or [`Gpu::stats`] — with everything disabled the
-    /// per-cycle cost is a single branch.
+    /// installed, interval sampling is on, and/or per-PC attribution is
+    /// on. Per-kernel records are collected exactly while this is true.
+    /// Profiling never changes simulated timing or [`Gpu::stats`] — with
+    /// everything disabled the per-cycle cost is a single branch.
     pub fn profiling_enabled(&self) -> bool {
-        self.trace_on() || self.sampler.is_some()
+        self.trace_on() || self.sampler.is_some() || self.config.sm.attribution
     }
 
     /// Install a custom trace sink (replacing the built-in buffer if
@@ -306,6 +310,76 @@ impl Gpu {
         }
     }
 
+    /// The code axis of attribution: per-PC counters merged across SMs in
+    /// SM-index order and symbolicated against the loaded program. `None`
+    /// unless the GPU was built with [`ggpu_sm::SmConfig::attribution`].
+    pub fn pc_profile(&self) -> Option<PcProfile> {
+        let mut merged: Option<ggpu_sm::PcTable> = None;
+        for lane in &self.lanes {
+            let t = lane.core.pc_table()?;
+            match &mut merged {
+                Some(m) => m.merge(t),
+                None => merged = Some(t.clone()),
+            }
+        }
+        let merged = merged?;
+        let kernels = self
+            .program
+            .iter()
+            .map(|(kid, k)| KernelPcProfile {
+                kernel_id: kid.0,
+                kernel: k.name.clone(),
+                rows: merged
+                    .kernel(kid)
+                    .iter()
+                    .enumerate()
+                    .map(|(pc, c)| PcProfileRow {
+                        pc,
+                        instr: k.instrs[pc].to_string(),
+                        counters: *c,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Some(PcProfile {
+            kernels,
+            unattributed: *merged.unattributed(),
+        })
+    }
+
+    /// The space axis of attribution: every counter resolved per hardware
+    /// unit. Always available — these are the units' own live counters.
+    pub fn unit_profile(&self) -> UnitProfile {
+        let req_inj = self.icnt_req.injected_per_node();
+        let req_del = self.icnt_req.delivered_per_node();
+        let rep_inj = self.icnt_rep.injected_per_node();
+        let rep_del = self.icnt_rep.delivered_per_node();
+        let n_sms = self.config.n_sms;
+        let sms = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| SmUnit {
+                sm: i,
+                stats: lane.core.stats().clone(),
+                l1: *lane.core.l1_stats(),
+                req_injected: req_inj.get(i).copied().unwrap_or(0),
+                rep_delivered: rep_del.get(i).copied().unwrap_or(0),
+            })
+            .collect();
+        let partitions = (0..self.config.n_partitions)
+            .map(|p| PartitionUnit {
+                partition: p,
+                l2: *self.l2[p].stats(),
+                dram: *self.dram[p].stats(),
+                banks: self.dram[p].bank_stats().to_vec(),
+                req_delivered: req_del.get(n_sms + p).copied().unwrap_or(0),
+                rep_injected: rep_inj.get(n_sms + p).copied().unwrap_or(0),
+            })
+            .collect();
+        UnitProfile { sms, partitions }
+    }
+
     /// Take everything the profiler has collected as one machine-readable
     /// [`ProfileReport`], leaving the profiler empty (subsequent records and
     /// samples start from the current counter values).
@@ -332,6 +406,8 @@ impl Gpu {
             samples_dropped,
             events,
             events_dropped,
+            pc: self.pc_profile(),
+            units: self.unit_profile(),
         }
     }
 

@@ -59,7 +59,10 @@ pub use config::{FaultPlan, GpuConfig, PcieConfig};
 pub use device::Gpu;
 pub use error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 pub use memory::{DeviceMemory, DevicePtr};
-pub use profile::{run_stats_json, IntervalSample, KernelRecord, ProfileReport};
+pub use profile::{
+    run_stats_json, IntervalSample, KernelPcProfile, KernelRecord, PartitionUnit, PcProfile,
+    PcProfileRow, ProfileReport, SmUnit, UnitProfile,
+};
 pub use stats::{HostStats, RunStats};
 pub use trace::{
     chrome_trace_events, chrome_trace_json, CopyDir, TraceBuffer, TraceEvent, TraceEventKind,
@@ -70,6 +73,11 @@ pub use trace::{
 // direct `ggpu-isa` / `ggpu-sm` dependencies.
 pub use ggpu_isa::FaultKind;
 pub use ggpu_sm::{WarpReport, WarpWait};
+
+// Re-export the counter vocabulary the attribution profiler exposes, so
+// harnesses can read [`ProfileReport`] without substrate dependencies.
+pub use ggpu_mem::{CacheStats, DramStats};
+pub use ggpu_sm::{PcCounters, PcTable, SmStats, StallBreakdown, StallReason};
 
 #[cfg(test)]
 mod tests {
@@ -255,6 +263,70 @@ mod tests {
         assert_eq!(s.sm.issued, 0);
         assert_eq!(s.host.kernel_launches, 0);
         assert_eq!(s.l1.accesses(), 0);
+    }
+
+    #[test]
+    fn attribution_profile_telescopes_to_run_stats() {
+        let (p, k) = double_program();
+        let mut gpu = Gpu::new(p, GpuConfig::test_small().with_attribution(true));
+        assert!(gpu.profiling_enabled());
+        let out = gpu.malloc(256 * 8);
+        gpu.run_kernel(k, LaunchDims::linear(8, 32), &[out.0]);
+        let s = gpu.stats();
+
+        let pc = gpu.pc_profile().expect("attribution on");
+        assert_eq!(pc.total(|c| c.issues), s.sm.issued);
+        assert_eq!(pc.total(|c| c.lanes), s.sm.thread_instrs);
+        assert_eq!(pc.total(|c| c.offchip_txns), s.sm.offchip_txns);
+        assert_eq!(pc.total(|c| c.l1_accesses), s.l1.accesses());
+        assert_eq!(pc.total(|c| c.l1_hits), s.l1.hits());
+        for reason in StallReason::ALL {
+            assert_eq!(
+                pc.total(|c| c.stalls.get(reason)) + pc.unattributed.get(reason),
+                s.sm.stalls.get(reason),
+                "stall {reason:?} must telescope"
+            );
+        }
+
+        let units = gpu.unit_profile();
+        let issued: u64 = units.sms.iter().map(|u| u.stats.issued).sum();
+        assert_eq!(issued, s.sm.issued);
+        let l1: u64 = units.sms.iter().map(|u| u.l1.accesses()).sum();
+        assert_eq!(l1, s.l1.accesses());
+        let dram: u64 = units.partitions.iter().map(|p| p.dram.requests).sum();
+        assert_eq!(dram, s.dram.requests);
+        let banks: u64 = units
+            .partitions
+            .iter()
+            .flat_map(|p| p.banks.iter())
+            .map(|&(req, _)| req)
+            .sum();
+        assert_eq!(banks, s.dram.requests);
+        let req: u64 = units.sms.iter().map(|u| u.req_injected).sum();
+        assert_eq!(req, s.icnt_req.packets);
+        let rep: u64 = units.partitions.iter().map(|p| p.rep_injected).sum();
+        assert_eq!(rep, s.icnt_rep.packets);
+
+        // take_profile carries both axes; reset clears the PC table.
+        let report = gpu.take_profile();
+        assert!(report.pc.is_some());
+        assert_eq!(report.units.sms.len(), gpu.config().n_sms);
+        gpu.reset_stats();
+        let pc = gpu.pc_profile().expect("table survives reset, zeroed");
+        assert_eq!(pc.total(|c| c.issues), 0);
+    }
+
+    #[test]
+    fn attribution_does_not_change_stats() {
+        let run = |attribution: bool| {
+            let (p, k) = double_program();
+            let cfg = GpuConfig::test_small().with_attribution(attribution);
+            let mut gpu = Gpu::new(p, cfg);
+            let out = gpu.malloc(256 * 8);
+            gpu.run_kernel(k, LaunchDims::linear(8, 32), &[out.0]);
+            gpu.stats()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -11,7 +11,8 @@
 use std::collections::VecDeque;
 
 use ggpu_isa::{InstrClass, Space, WARP_SIZE};
-use ggpu_sm::StallReason;
+use ggpu_mem::{CacheStats, DramStats};
+use ggpu_sm::{PcCounters, SmStats, StallBreakdown, StallReason};
 
 /// All instruction classes, in Figure 8's display order.
 const INSTR_CLASSES: [InstrClass; 5] = [
@@ -252,6 +253,241 @@ impl Sampler {
     }
 }
 
+/// One instruction row in a kernel's annotated listing: a PC, its
+/// disassembly, and every counter charged to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcProfileRow {
+    /// Program counter (index into the kernel's instruction stream).
+    pub pc: usize,
+    /// Disassembled instruction at this PC.
+    pub instr: String,
+    /// Counters attributed to this PC, merged across SMs.
+    pub counters: PcCounters,
+}
+
+/// Annotated listing for one kernel: every instruction with its merged
+/// per-PC counters — the simulator's analogue of an nvprof source-level
+/// profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPcProfile {
+    /// Kernel id in the loaded program.
+    pub kernel_id: u32,
+    /// Kernel name.
+    pub kernel: String,
+    /// One row per PC, in program order.
+    pub rows: Vec<PcProfileRow>,
+}
+
+impl KernelPcProfile {
+    /// Total warp-instructions issued from this kernel's PCs.
+    pub fn total_issues(&self) -> u64 {
+        self.rows.iter().map(|r| r.counters.issues).sum()
+    }
+
+    /// Serialize as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.u64("kernel_id", self.kernel_id as u64)
+            .str("kernel", &self.kernel);
+        w.begin_arr_key("rows");
+        for r in &self.rows {
+            w.elem_raw(&pc_row_json(r));
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// The code axis of attribution: per-PC counters for every kernel, plus
+/// the stall cycles no instruction could be charged for (idle SMs, launch
+/// overhead, dead warps).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PcProfile {
+    /// One annotated listing per kernel, in kernel-id order.
+    pub kernels: Vec<KernelPcProfile>,
+    /// Stall cycles with no attributable (kernel, PC).
+    pub unattributed: StallBreakdown,
+}
+
+impl PcProfile {
+    /// Sum a per-PC counter over every kernel and PC.
+    pub fn total<F: Fn(&PcCounters) -> u64>(&self, f: F) -> u64 {
+        self.kernels
+            .iter()
+            .flat_map(|k| k.rows.iter())
+            .map(|r| f(&r.counters))
+            .sum()
+    }
+
+    /// Serialize as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.begin_arr_key("kernels");
+        for k in &self.kernels {
+            w.elem_raw(&k.to_json());
+        }
+        w.end_arr();
+        w.raw("unattributed", &stalls_json(&self.unattributed));
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// One SM's row in the space axis: its full counter set plus its network
+/// endpoint traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmUnit {
+    /// SM index.
+    pub sm: usize,
+    /// This SM's counters (issues, stalls, occupancy, ...).
+    pub stats: SmStats,
+    /// This SM's L1 data-cache counters.
+    pub l1: CacheStats,
+    /// Packets this SM injected into the request network.
+    pub req_injected: u64,
+    /// Packets the reply network delivered to this SM.
+    pub rep_delivered: u64,
+}
+
+/// One memory partition's row in the space axis: L2 slice, DRAM channel
+/// (with per-bank detail), and network endpoint traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionUnit {
+    /// Partition index.
+    pub partition: usize,
+    /// L2 slice counters.
+    pub l2: CacheStats,
+    /// DRAM channel counters.
+    pub dram: DramStats,
+    /// Per-bank `(requests, row_hits)` within the channel.
+    pub banks: Vec<(u64, u64)>,
+    /// Packets the request network delivered to this partition.
+    pub req_delivered: u64,
+    /// Packets this partition injected into the reply network.
+    pub rep_injected: u64,
+}
+
+/// The space axis of attribution: every counter resolved per hardware
+/// unit (SM, L2 slice, DRAM channel/bank, network endpoint). Always
+/// collected — these are the units' own counters, read at report time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UnitProfile {
+    /// Per-SM rows, in SM-index order.
+    pub sms: Vec<SmUnit>,
+    /// Per-partition rows, in partition order.
+    pub partitions: Vec<PartitionUnit>,
+}
+
+impl UnitProfile {
+    /// Serialize as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.begin_arr_key("sms");
+        for u in &self.sms {
+            w.elem_raw(&sm_unit_json(u));
+        }
+        w.end_arr();
+        w.begin_arr_key("partitions");
+        for p in &self.partitions {
+            w.elem_raw(&partition_unit_json(p));
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+}
+
+fn stalls_json(s: &StallBreakdown) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    for reason in StallReason::ALL {
+        w.u64(reason.name(), s.get(reason));
+    }
+    w.end_obj();
+    w.finish()
+}
+
+fn cache_json(c: &CacheStats) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.u64("read_access", c.read_access)
+        .u64("read_hit", c.read_hit)
+        .u64("write_access", c.write_access)
+        .u64("write_hit", c.write_hit)
+        .u64("mshr_merged", c.mshr_merged)
+        .u64("reservation_fails", c.reservation_fails)
+        .u64("writebacks", c.writebacks);
+    w.end_obj();
+    w.finish()
+}
+
+fn pc_row_json(r: &PcProfileRow) -> String {
+    let c = &r.counters;
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.u64("pc", r.pc as u64)
+        .str("instr", &r.instr)
+        .u64("issues", c.issues)
+        .u64("lanes", c.lanes)
+        .u64("l1_accesses", c.l1_accesses)
+        .u64("l1_hits", c.l1_hits)
+        .u64("mem_txns", c.mem_txns)
+        .u64("replays", c.replays)
+        .u64("offchip_txns", c.offchip_txns)
+        .raw("stalls", &stalls_json(&c.stalls));
+    w.end_obj();
+    w.finish()
+}
+
+fn sm_unit_json(u: &SmUnit) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.u64("sm", u.sm as u64)
+        .u64("cycles", u.stats.cycles)
+        .u64("issued", u.stats.issued)
+        .u64("thread_instrs", u.stats.thread_instrs)
+        .u64("offchip_txns", u.stats.offchip_txns)
+        .u64("ctas_completed", u.stats.ctas_completed)
+        .f64("avg_active_lanes", u.stats.avg_active_lanes())
+        .raw("stalls", &stalls_json(&u.stats.stalls))
+        .raw("l1", &cache_json(&u.l1))
+        .u64("req_injected", u.req_injected)
+        .u64("rep_delivered", u.rep_delivered);
+    w.end_obj();
+    w.finish()
+}
+
+fn partition_unit_json(p: &PartitionUnit) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.u64("partition", p.partition as u64)
+        .raw("l2", &cache_json(&p.l2));
+    w.begin_obj_key("dram");
+    w.u64("requests", p.dram.requests)
+        .u64("row_hits", p.dram.row_hits)
+        .u64("data_cycles", p.dram.data_cycles)
+        .u64("active_cycles", p.dram.active_cycles)
+        .u64("rejected", p.dram.rejected);
+    w.end_obj();
+    w.begin_arr_key("banks");
+    for &(requests, row_hits) in &p.banks {
+        let mut b = JsonWriter::new();
+        b.begin_obj();
+        b.u64("requests", requests).u64("row_hits", row_hits);
+        b.end_obj();
+        w.elem_raw(&b.finish());
+    }
+    w.end_arr();
+    w.u64("req_delivered", p.req_delivered)
+        .u64("rep_injected", p.rep_injected);
+    w.end_obj();
+    w.finish()
+}
+
 /// Everything the profiler collected over a run, in one machine-readable
 /// bundle: final counters, per-kernel records, interval samples, and the
 /// event trace. Obtained from [`crate::Gpu::take_profile`].
@@ -271,6 +507,11 @@ pub struct ProfileReport {
     pub events: Vec<TraceEvent>,
     /// Events dropped after the trace buffer filled.
     pub events_dropped: u64,
+    /// Code-axis attribution (per-PC counters, symbolicated); `None`
+    /// unless [`ggpu_sm::SmConfig::attribution`] was on.
+    pub pc: Option<PcProfile>,
+    /// Space-axis attribution (per-unit counters); always collected.
+    pub units: UnitProfile,
 }
 
 impl ProfileReport {
@@ -298,8 +539,20 @@ impl ProfileReport {
         }
         w.end_arr();
         w.u64("events_dropped", self.events_dropped);
+        match &self.pc {
+            Some(p) => w.raw("pc_profile", &p.to_json()),
+            None => w.raw("pc_profile", "null"),
+        };
+        w.raw("units", &self.units.to_json());
         w.end_obj();
         w.finish()
+    }
+
+    /// Total observability records silently truncated: dropped interval
+    /// samples plus dropped trace events. Harnesses surface this so a
+    /// partial report is never mistaken for a complete one.
+    pub fn dropped_total(&self) -> u64 {
+        self.samples_dropped + self.events_dropped
     }
 
     /// Render this report's event trace as a Chrome-trace JSON document
@@ -466,6 +719,69 @@ mod tests {
     }
 
     #[test]
+    fn attribution_sections_serialize() {
+        let counters = PcCounters {
+            issues: 7,
+            ..PcCounters::default()
+        };
+        let report = ProfileReport {
+            pc: Some(PcProfile {
+                kernels: vec![KernelPcProfile {
+                    kernel_id: 0,
+                    kernel: "k".to_string(),
+                    rows: vec![PcProfileRow {
+                        pc: 0,
+                        instr: "exit".to_string(),
+                        counters,
+                    }],
+                }],
+                unattributed: StallBreakdown::default(),
+            }),
+            units: UnitProfile {
+                sms: vec![SmUnit {
+                    sm: 0,
+                    stats: SmStats::default(),
+                    l1: CacheStats::default(),
+                    req_injected: 3,
+                    rep_delivered: 2,
+                }],
+                partitions: vec![PartitionUnit {
+                    partition: 0,
+                    l2: CacheStats::default(),
+                    dram: DramStats::default(),
+                    banks: vec![(5, 4)],
+                    req_delivered: 3,
+                    rep_injected: 2,
+                }],
+            },
+            ..Default::default()
+        };
+        assert_eq!(report.pc.as_ref().map(|p| p.total(|c| c.issues)), Some(7));
+        let v = Json::parse(&report.to_json()).expect("well-formed");
+        let pc = v.get("pc_profile").expect("pc_profile");
+        let rows = pc
+            .get("kernels")
+            .and_then(Json::as_arr)
+            .and_then(|ks| ks[0].get("rows"))
+            .and_then(Json::as_arr)
+            .expect("rows");
+        assert_eq!(rows[0].get("issues").and_then(Json::as_u64), Some(7));
+        let units = v.get("units").expect("units");
+        let sms = units.get("sms").and_then(Json::as_arr).expect("sms");
+        assert_eq!(sms[0].get("req_injected").and_then(Json::as_u64), Some(3));
+        let parts = units
+            .get("partitions")
+            .and_then(Json::as_arr)
+            .expect("partitions");
+        let banks = parts[0].get("banks").and_then(Json::as_arr).expect("banks");
+        assert_eq!(banks[0].get("requests").and_then(Json::as_u64), Some(5));
+        // Attribution off: pc_profile serializes as an explicit null.
+        let off = ProfileReport::default();
+        let v = Json::parse(&off.to_json()).expect("well-formed");
+        assert_eq!(v.get("pc_profile"), Some(&Json::Null));
+    }
+
+    #[test]
     fn profile_report_json_round_trips() {
         let report = ProfileReport {
             stats: RunStats::default(),
@@ -491,6 +807,7 @@ mod tests {
             samples_dropped: 0,
             events: Vec::new(),
             events_dropped: 0,
+            ..Default::default()
         };
         let v = Json::parse(&report.to_json()).expect("well-formed");
         let kernels = v.get("kernels").and_then(Json::as_arr).expect("kernels");

@@ -119,6 +119,11 @@ pub struct SmConfig {
     /// only hit barriers fully converged, but turning it on catches the
     /// classic `__syncthreads()`-under-divergence bug deterministically.
     pub trap_divergent_barrier: bool,
+    /// Keep a per-PC attribution table ([`crate::PcTable`]) charging issues,
+    /// stalls, L1 traffic, divergence and replays to individual
+    /// instructions. Off by default; when off the SM allocates no table and
+    /// pays exactly one branch per recording site.
+    pub attribution: bool,
 }
 
 impl Default for SmConfig {
@@ -138,6 +143,7 @@ impl Default for SmConfig {
             perfect_memory: false,
             interleave_local: true,
             trap_divergent_barrier: false,
+            attribution: false,
         }
     }
 }

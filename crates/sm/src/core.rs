@@ -16,6 +16,7 @@ use ggpu_isa::{
 use ggpu_mem::{Cache, CacheStats, LINE_BYTES};
 
 use crate::config::{SchedPolicy, SmConfig};
+use crate::pc::PcTable;
 use crate::ports::{MemOp, SmPorts, TickOutput};
 use crate::stats::{SmStats, StallReason};
 use crate::warp::{lane_mask, lanes, WaitKind, Warp, WarpBlock};
@@ -232,6 +233,9 @@ pub struct SmCore {
     /// Per-scheduler sticky warp for GTO.
     gto_current: Vec<Option<usize>>,
     stats: SmStats,
+    /// Per-PC attribution table, allocated only when
+    /// [`SmConfig::attribution`] is set.
+    pc_stats: Option<Box<PcTable>>,
     /// Scratch buffers reused across cycles.
     scratch_addrs: [u64; WARP_SIZE],
     scratch_lines: Vec<u64>,
@@ -242,6 +246,7 @@ impl SmCore {
     /// Build an SM running kernels from `program`.
     pub fn new(config: SmConfig, program: Arc<Program>) -> Self {
         SmCore {
+            pc_stats: config.attribution.then(|| Box::new(PcTable::new(&program))),
             l1: Cache::new(config.l1),
             cc: Cache::new(config.const_cache),
             tc: Cache::new(config.tex_cache),
@@ -297,6 +302,19 @@ impl SmCore {
     /// Take and reset statistics.
     pub fn take_stats(&mut self) -> SmStats {
         std::mem::take(&mut self.stats)
+    }
+
+    /// Per-PC attribution table; `None` unless
+    /// [`SmConfig::attribution`] was set at construction.
+    pub fn pc_table(&self) -> Option<&PcTable> {
+        self.pc_stats.as_deref()
+    }
+
+    /// Zero the per-PC attribution table (no-op when attribution is off).
+    pub fn reset_pc_table(&mut self) {
+        if let Some(t) = self.pc_stats.as_deref_mut() {
+            *t = PcTable::new(&self.program);
+        }
     }
 
     /// L1 data-cache statistics (Figure 13).
@@ -474,28 +492,51 @@ impl SmCore {
                 self.stats
                     .stalls
                     .add(StallReason::FunctionalDone, nsched as u64);
+                if let Some(t) = self.pc_stats.as_deref_mut() {
+                    t.record_unattributed(StallReason::FunctionalDone, nsched as u64);
+                }
             }
             return;
         }
-        let mut fallback: Option<StallReason> = None;
+        let mut fallback: Option<(StallReason, Option<usize>)> = None;
         for sched in 0..nsched {
             match self.pick(sched, now) {
                 Ok(widx) => self.issue(widx, now, gmem, out),
-                Err(reason) => {
+                Err((reason, rep)) => {
                     // A scheduler with no warps of its own inherits the
                     // SM-wide dominant wait reason so small kernels don't
                     // drown Figure 5 in artificial idle slots.
-                    let r = if reason == StallReason::Idle && self.live_warps > 0 {
+                    let (r, rep) = if reason == StallReason::Idle && self.live_warps > 0 {
                         if fallback.is_none() {
                             fallback = Some(self.global_wait_reason(now));
                         }
-                        fallback.unwrap_or(reason)
+                        fallback.unwrap_or((reason, rep))
                     } else {
-                        reason
+                        (reason, rep)
                     };
                     self.stats.stalls.add(r, 1);
+                    if self.pc_stats.is_some() {
+                        self.record_pc_stall(r, rep);
+                    }
                 }
             }
+        }
+    }
+
+    /// Charge one stall cycle of `reason` to the representative blocked
+    /// warp's current PC, or to the unattributed bucket when there is none.
+    fn record_pc_stall(&mut self, reason: StallReason, rep: Option<usize>) {
+        let located = rep.and_then(|widx| {
+            let w = self.warps.get(widx)?.as_ref()?;
+            let pc = w.stack.last()?.pc;
+            Some((self.slots[w.cta_slot].cfg.kernel_id, pc))
+        });
+        let Some(t) = self.pc_stats.as_deref_mut() else {
+            return;
+        };
+        match located {
+            Some((kid, pc)) => t.record_stall(kid, pc, reason),
+            None => t.record_unattributed(reason, 1),
         }
     }
 
@@ -529,33 +570,41 @@ impl SmCore {
         }
     }
 
-    /// Dominant wait reason across all live warps (Memory > Control > Data
-    /// > Barrier), used for schedulers with no warps of their own.
-    fn global_wait_reason(&mut self, now: u64) -> StallReason {
-        let mut best: Option<WaitKind> = None;
+    /// Priority of a blocking wait kind for stall classification: the
+    /// dominant reason is the highest-ranked kind over the candidate set,
+    /// attributed to the first warp that reaches that rank.
+    fn wait_rank(k: WaitKind) -> u8 {
+        match k {
+            WaitKind::Memory => 3,
+            WaitKind::Control => 2,
+            WaitKind::Data => 1,
+            WaitKind::Sync | WaitKind::Ready => 0,
+        }
+    }
+
+    /// Dominant wait reason across all live warps (Memory over Control
+    /// over Data over Barrier) plus the representative warp it is
+    /// attributed to, used for schedulers with no warps of their own.
+    fn global_wait_reason(&mut self, now: u64) -> (StallReason, Option<usize>) {
+        let mut best: Option<(WaitKind, usize)> = None;
         for i in 0..self.warps.len() {
             match self.classify(i, now) {
-                Some(WaitKind::Ready) => continue,
+                Some(WaitKind::Ready) | None => {}
                 Some(k) => {
-                    best = Some(match (best, k) {
-                        (None, k) => k,
-                        (Some(WaitKind::Memory), _) | (_, WaitKind::Memory) => WaitKind::Memory,
-                        (Some(WaitKind::Control), _) | (_, WaitKind::Control) => WaitKind::Control,
-                        (Some(WaitKind::Data), _) | (_, WaitKind::Data) => WaitKind::Data,
-                        (Some(k0), _) => k0,
-                    });
+                    if best.is_none_or(|(k0, _)| Self::wait_rank(k0) < Self::wait_rank(k)) {
+                        best = Some((k, i));
+                    }
                 }
-                None => {}
             }
         }
         match best {
-            Some(WaitKind::Memory) => StallReason::MemLatency,
-            Some(WaitKind::Control) => StallReason::ControlHazard,
-            Some(WaitKind::Data) => StallReason::DataHazard,
-            Some(WaitKind::Sync) => StallReason::Barrier,
+            Some((WaitKind::Memory, i)) => (StallReason::MemLatency, Some(i)),
+            Some((WaitKind::Control, i)) => (StallReason::ControlHazard, Some(i)),
+            Some((WaitKind::Data, i)) => (StallReason::DataHazard, Some(i)),
+            Some((WaitKind::Sync, i)) => (StallReason::Barrier, Some(i)),
             // All live warps ready but owned by other schedulers: the slot
             // is structurally idle.
-            _ => StallReason::Idle,
+            _ => (StallReason::Idle, None),
         }
     }
 
@@ -593,41 +642,38 @@ impl SmCore {
         Some(w.wait_kind(&srcs, dst, now))
     }
 
-    /// Scheduler `sched` picks a warp or reports its stall reason.
-    fn pick(&mut self, sched: usize, now: u64) -> Result<usize, StallReason> {
+    /// Scheduler `sched` picks a warp, or reports its stall reason plus the
+    /// representative blocked warp the stall is attributed to.
+    fn pick(&mut self, sched: usize, now: u64) -> Result<usize, (StallReason, Option<usize>)> {
         let nsched = self.config.schedulers as usize;
         let candidates: Vec<usize> = (0..self.warps.len())
             .filter(|i| i % nsched == sched)
             .filter(|&i| self.warps[i].as_ref().map(|w| !w.done).unwrap_or(false))
             .collect();
         if candidates.is_empty() {
-            return Err(StallReason::Idle);
+            return Err((StallReason::Idle, None));
         }
 
-        let mut best_wait: Option<WaitKind> = None;
+        let mut best_wait: Option<(WaitKind, usize)> = None;
         let mut ready: Vec<usize> = Vec::new();
         for &i in &candidates {
             match self.classify(i, now) {
                 Some(WaitKind::Ready) => ready.push(i),
-                Some(k) => {
-                    best_wait = Some(match (best_wait, k) {
-                        (None, k) => k,
-                        (Some(WaitKind::Memory), _) | (_, WaitKind::Memory) => WaitKind::Memory,
-                        (Some(WaitKind::Control), _) | (_, WaitKind::Control) => WaitKind::Control,
-                        (Some(WaitKind::Data), _) | (_, WaitKind::Data) => WaitKind::Data,
-                        (Some(k0), _) => k0,
-                    });
+                Some(k)
+                    if best_wait.is_none_or(|(k0, _)| Self::wait_rank(k0) < Self::wait_rank(k)) =>
+                {
+                    best_wait = Some((k, i));
                 }
-                None => {}
+                _ => {}
             }
         }
         if ready.is_empty() {
             return Err(match best_wait {
-                Some(WaitKind::Memory) => StallReason::MemLatency,
-                Some(WaitKind::Control) => StallReason::ControlHazard,
-                Some(WaitKind::Data) => StallReason::DataHazard,
-                Some(WaitKind::Sync) => StallReason::Barrier,
-                _ => StallReason::Idle,
+                Some((WaitKind::Memory, i)) => (StallReason::MemLatency, Some(i)),
+                Some((WaitKind::Control, i)) => (StallReason::ControlHazard, Some(i)),
+                Some((WaitKind::Data, i)) => (StallReason::DataHazard, Some(i)),
+                Some((WaitKind::Sync, i)) => (StallReason::Barrier, Some(i)),
+                _ => (StallReason::Idle, None),
             });
         }
 

@@ -60,6 +60,9 @@ impl SmCore {
         if let Some(space) = instr.mem_space() {
             self.stats.record_mem(space);
         }
+        if let Some(t) = self.pc_stats.as_deref_mut() {
+            t.record_issue(kid, pc, nlanes);
+        }
 
         // Default post-issue state; overridden below where needed.
         {
@@ -571,10 +574,12 @@ impl SmCore {
                 } else {
                     let tex = space == Space::Tex;
                     let mut misses = 0u16;
+                    let mut hits = 0u64;
+                    let mut offchip = 0u64;
                     for &line in &lines {
                         let cache = if tex { &mut self.tc } else { &mut self.l1 };
                         match cache.access(line * LINE_BYTES, false) {
-                            CacheOutcome::Hit => {}
+                            CacheOutcome::Hit => hits += 1,
                             CacheOutcome::MshrMerged => {
                                 misses += 1;
                                 self.waiters
@@ -584,6 +589,7 @@ impl SmCore {
                             }
                             _ => {
                                 misses += 1;
+                                offchip += 1;
                                 let id = self.next_req_id;
                                 self.next_req_id += 1;
                                 self.outstanding
@@ -606,6 +612,14 @@ impl SmCore {
                     // cycle: an uncoalesced access occupies the warp's
                     // issue slot for `lines` cycles even when it hits.
                     let serialize = lines.len().saturating_sub(1) as u64;
+                    if let Some(t) = self.pc_stats.as_deref_mut() {
+                        let kid = self.slots[slot_idx].cfg.kernel_id;
+                        if !tex {
+                            t.record_l1(kid, pc, lines.len() as u64, hits);
+                        }
+                        t.record_txns(kid, pc, lines.len() as u64, serialize);
+                        t.record_offchip(kid, pc, offchip);
+                    }
                     let w = self.warps[widx]
                         .as_mut()
                         .expect("scheduled warp is resident");
@@ -730,8 +744,13 @@ impl SmCore {
                 if !self.config.perfect_memory {
                     let mut lines = std::mem::take(&mut self.scratch_lines);
                     coalesce_lines(&self.scratch_addrs, mask, width.bytes(), &mut lines);
+                    let mut hits = 0u64;
+                    let mut offchip = 0u64;
                     for &line in &lines {
                         let outcome = self.l1.access(line * LINE_BYTES, true);
+                        if outcome == CacheOutcome::Hit {
+                            hits += 1;
+                        }
                         // Thread-private local stores are absorbed by the L1
                         // when resident (write-back behaviour on real GPUs);
                         // global stores write through.
@@ -750,8 +769,15 @@ impl SmCore {
                             tex: false,
                         });
                         self.stats.offchip_txns += 1;
+                        offchip += 1;
                     }
                     let serialize = lines.len().saturating_sub(1) as u64;
+                    if let Some(t) = self.pc_stats.as_deref_mut() {
+                        let kid = self.slots[slot_idx].cfg.kernel_id;
+                        t.record_l1(kid, pc, lines.len() as u64, hits);
+                        t.record_txns(kid, pc, lines.len() as u64, serialize);
+                        t.record_offchip(kid, pc, offchip);
+                    }
                     self.scratch_lines = lines;
                     let w = self.warps[widx]
                         .as_mut()
@@ -890,6 +916,11 @@ impl SmCore {
                             tex: false,
                         });
                         self.stats.offchip_txns += 1;
+                    }
+                    if let Some(t) = self.pc_stats.as_deref_mut() {
+                        let kid = self.slots[slot_idx].cfg.kernel_id;
+                        t.record_txns(kid, pc, lines.len() as u64, 0);
+                        t.record_offchip(kid, pc, lines.len() as u64);
                     }
                     self.scratch_lines = lines;
                 }

@@ -24,6 +24,7 @@
 mod coalesce;
 mod config;
 mod core;
+mod pc;
 mod ports;
 mod stats;
 mod warp;
@@ -34,6 +35,7 @@ pub use crate::ports::{
 };
 pub use coalesce::{bank_conflict_degree, coalesce_lines, SMEM_BANKS};
 pub use config::{LatencyConfig, SchedPolicy, SmConfig};
+pub use pc::{PcCounters, PcTable};
 pub use stats::{SmStats, StallBreakdown, StallReason};
 pub use warp::{lane_mask, lanes, SimtEntry, WaitKind, Warp, WarpBlock, FULL_MASK, NO_RECONV};
 
