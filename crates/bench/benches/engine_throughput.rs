@@ -1,16 +1,18 @@
 //! Engine throughput: simulated cycles per wall-clock second, single- vs
-//! multi-threaded, exported to `results/bench_engine.json`.
+//! multi-threaded, across three differently shaped workloads, exported to
+//! `results/bench_engine.json`.
 //!
 //! ```text
 //! cargo bench -p ggpu-bench --bench engine_throughput
 //! GGPU_BENCH_QUICK=1 cargo bench -p ggpu-bench --bench engine_throughput  # CI
 //! ```
 //!
-//! The headline number is the cycles/sec ratio of `sim_threads = N` over
-//! `sim_threads = 1`. The JSON records `host_parallelism` alongside it:
-//! on a single-core host the barrier protocol still runs (and must stay
-//! correct), but no wall-clock speedup is possible, so read the ratio
-//! together with that field.
+//! Per workload the headline numbers are single-thread cycles/sec, the
+//! cycles/sec ratio of `sim_threads = N` over `sim_threads = 1`, and how
+//! many simulated cycles idle-cycle fast-forward elided. The JSON records
+//! `host_parallelism` alongside: on a single-core host the engine falls
+//! back to the serial loop at any requested thread count (no wall-clock
+//! speedup is possible there), so read the ratio together with that field.
 
 use std::time::Instant;
 
@@ -20,6 +22,11 @@ use ggpu_sim::json::JsonWriter;
 
 /// Worker-thread count for the multi-threaded measurement.
 const PARALLEL_THREADS: usize = 4;
+
+/// `(abbrev, cdp)` probe workloads: SW is plain data-parallel DP, NvB is
+/// FM-index binning + search (a very different memory shape), and STAR
+/// with CDP exercises device-side launches and their overhead windows.
+const WORKLOADS: [(&str, bool); 3] = [("SW", false), ("NvB", false), ("STAR", true)];
 
 fn quick_mode() -> bool {
     std::env::var_os("GGPU_BENCH_QUICK").is_some()
@@ -35,40 +42,57 @@ fn engine_cfg(threads: usize) -> GpuConfig {
     .with_sim_threads(threads)
 }
 
-/// Run the probe workload once; returns simulated kernel cycles and the
-/// resolved worker-thread count the engine actually used.
-fn run_workload(scale: Scale, threads: usize) -> (u64, usize) {
-    let config = engine_cfg(threads);
-    let b = benchmark(scale, "SW").expect("SW is registered");
-    let r = b.run(&config, false);
-    assert!(r.verified, "probe workload must verify");
-    (r.kernel_cycles, r.sim_threads)
+/// One measured run: simulated kernel cycles, cycles elided by
+/// fast-forward, and the resolved worker-thread count.
+struct RunSample {
+    cycles: u64,
+    skipped: u64,
+    resolved: usize,
 }
 
-/// Measure simulated cycles per wall-second at `threads` workers; also
-/// returns the resolved thread count actually used.
-fn measure(scale: Scale, threads: usize, iters: u32) -> (u64, f64, usize) {
+fn run_workload(scale: Scale, abbrev: &str, cdp: bool, threads: usize) -> RunSample {
+    let config = engine_cfg(threads);
+    let b = benchmark(scale, abbrev).expect("workload is registered");
+    let r = b.run(&config, cdp);
+    assert!(r.verified, "probe workload {abbrev} must verify");
+    RunSample {
+        cycles: r.kernel_cycles,
+        skipped: r.fast_forward_skipped_cycles,
+        resolved: r.sim_threads,
+    }
+}
+
+/// Aggregate of `iters` runs at one thread count.
+struct Measured {
+    cycles: u64,
+    skipped: u64,
+    secs: f64,
+    resolved: usize,
+}
+
+fn measure(scale: Scale, abbrev: &str, cdp: bool, threads: usize, iters: u32) -> Measured {
     let t0 = Instant::now();
     let mut cycles = 0u64;
+    let mut skipped = 0u64;
     let mut resolved = 1;
     for _ in 0..iters {
-        let (c, r) = run_workload(scale, threads);
-        cycles += c;
-        resolved = r;
+        let s = run_workload(scale, abbrev, cdp, threads);
+        cycles += s.cycles;
+        skipped += s.skipped;
+        resolved = s.resolved;
     }
-    (cycles, t0.elapsed().as_secs_f64(), resolved)
+    Measured {
+        cycles,
+        skipped,
+        secs: t0.elapsed().as_secs_f64(),
+        resolved,
+    }
 }
 
 fn export_json(scale: Scale, iters: u32) {
-    let (cycles_1, secs_1, _) = measure(scale, 1, iters);
-    let (cycles_n, secs_n, resolved_n) = measure(scale, PARALLEL_THREADS, iters);
-    let rate_1 = cycles_1 as f64 / secs_1.max(1e-9);
-    let rate_n = cycles_n as f64 / secs_n.max(1e-9);
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
-
     let mut w = JsonWriter::new();
     w.begin_obj()
-        .str("workload", "SW")
         .str(
             "scale",
             match scale {
@@ -80,12 +104,33 @@ fn export_json(scale: Scale, iters: u32) {
         .u64("iterations", iters as u64)
         .u64("host_parallelism", host as u64)
         .u64("sim_threads_parallel", PARALLEL_THREADS as u64)
-        .u64("sim_threads_resolved", resolved_n as u64)
-        .u64("simulated_cycles_per_run", cycles_1 / iters as u64)
-        .f64("cycles_per_sec_1_thread", rate_1)
-        .f64("cycles_per_sec_n_threads", rate_n)
-        .f64("speedup_n_over_1", rate_n / rate_1.max(1e-9))
-        .end_obj();
+        .begin_arr_key("workloads");
+    let mut summary = String::new();
+    for (abbrev, cdp) in WORKLOADS {
+        let one = measure(scale, abbrev, cdp, 1, iters);
+        let par = measure(scale, abbrev, cdp, PARALLEL_THREADS, iters);
+        let rate_1 = one.cycles as f64 / one.secs.max(1e-9);
+        let rate_n = par.cycles as f64 / par.secs.max(1e-9);
+        let speedup = rate_n / rate_1.max(1e-9);
+        w.begin_obj()
+            .str("workload", abbrev)
+            .bool("cdp", cdp)
+            .u64("simulated_cycles_per_run", one.cycles / iters as u64)
+            .u64("fast_forward_skipped_cycles", one.skipped / iters as u64)
+            .u64("sim_threads_resolved", par.resolved as u64)
+            .f64("cycles_per_sec_1_thread", rate_1)
+            .f64("cycles_per_sec_n_threads", rate_n)
+            .f64("speedup_n_over_1", speedup)
+            .end_obj();
+        summary.push_str(&format!(
+            "  {abbrev}{}: 1-thread {rate_1:.0} cyc/s ({} of {} cycles skipped), \
+             {PARALLEL_THREADS}-thread {rate_n:.0} cyc/s (x{speedup:.2})\n",
+            if cdp { " (CDP)" } else { "" },
+            one.skipped / iters as u64,
+            one.cycles / iters as u64,
+        ));
+    }
+    w.end_arr().end_obj();
     let doc = w.finish();
 
     // `cargo bench` sets the cwd to the package root, so resolve the
@@ -100,13 +145,8 @@ fn export_json(scale: Scale, iters: u32) {
     let path = dir.join("bench_engine.json");
     match std::fs::write(&path, &doc) {
         Ok(()) => println!(
-            "[wrote {}] 1-thread {:.0} cyc/s, {}-thread {:.0} cyc/s (x{:.2}, host parallelism {})",
-            path.display(),
-            rate_1,
-            PARALLEL_THREADS,
-            rate_n,
-            rate_n / rate_1.max(1e-9),
-            host
+            "[wrote {}] (host parallelism {host})\n{summary}",
+            path.display()
         ),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
@@ -120,10 +160,13 @@ fn bench_engine(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("engine_throughput");
     g.sample_size(if quick_mode() { 1 } else { 3 });
-    for threads in [1usize, PARALLEL_THREADS] {
-        g.bench_function(format!("sw_{threads}_threads"), |bch| {
-            bch.iter(|| run_workload(scale, threads).0)
-        });
+    for (abbrev, cdp) in WORKLOADS {
+        for threads in [1usize, PARALLEL_THREADS] {
+            g.bench_function(
+                format!("{}_{threads}_threads", abbrev.to_lowercase()),
+                |bch| bch.iter(|| run_workload(scale, abbrev, cdp, threads).cycles),
+            );
+        }
     }
     g.finish();
 }

@@ -67,6 +67,13 @@ impl<T: Ord> DeliveryQueue<T> {
         self.heap.push(Reverse((time, self.seq, item)));
     }
 
+    /// Delivery time of the earliest in-flight item, if any — a
+    /// non-destructive peek used by the engine's idle-cycle fast-forward to
+    /// bound how far it may jump without missing a delivery.
+    pub fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
     /// Pop the next item due at or before `now`, if any.
     pub fn pop_due(&mut self, now: u64) -> Option<T> {
         match self.heap.peek() {

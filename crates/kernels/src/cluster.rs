@@ -398,6 +398,7 @@ impl Benchmark for ClusterBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!(
                 "CLUSTER: {} seqs, {} clusters, cdp={}",
                 n,

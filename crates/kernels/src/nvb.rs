@@ -563,6 +563,7 @@ impl Benchmark for NvbBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!(
                 "NvB: {} reads x {}bp vs {}bp genome, {} batches, cdp={}",
                 n, self.read_len, self.genome_len, self.batches, cdp

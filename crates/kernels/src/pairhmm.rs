@@ -513,6 +513,7 @@ impl Benchmark for PairHmmBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!(
                 "PairHMM: {} pairs ({}x{}), rows={:?}, cdp={}",
                 n, self.read_len, self.hap_len, self.rows, cdp

@@ -403,6 +403,7 @@ impl Benchmark for PairwiseBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!(
                 "{}: {} pairs (max_len {}), {} batches, cdp={}",
                 self.abbrev, n, self.max_len, self.batches, cdp

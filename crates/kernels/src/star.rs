@@ -507,6 +507,7 @@ impl Benchmark for StarBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!(
                 "STAR: {} seqs x {} bases, {} pairs, center {}, cdp={}",
                 self.n_seqs, self.seq_len, n_pairs, center, cdp

@@ -545,6 +545,7 @@ impl TracebackBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified: scores == self.expected_scores,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!("GG score-only on the traceback workload ({n} pairs)"),
             stats,
             profile,
@@ -631,6 +632,7 @@ impl TracebackBench {
             kernel_cycles: stats.host.kernel_cycles,
             verified,
             sim_threads: config.resolved_sim_threads(),
+            fast_forward_skipped_cycles: gpu.fast_forward_skipped_cycles(),
             detail: format!("GG-TB: {} pairs with full CIGAR traceback", n),
             stats,
             profile,

@@ -1,6 +1,38 @@
 //! Set-associative LRU cache with miss-status holding registers.
 
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+
 use crate::LINE_BYTES;
+
+/// Trivial multiplicative hasher for line-address keys. Line addresses are
+/// already well-distributed `u64`s, so one Fibonacci-style multiply beats the
+/// default SipHash on the per-access MSHR probe without any new dependency.
+/// Only membership is ever queried (never iteration order), so the hasher
+/// cannot affect determinism.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LineAddrHasher(u64);
+
+impl Hasher for LineAddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// O(1) keyed MSHR tag store (line address → outstanding miss).
+type MshrSet = HashSet<u64, BuildHasherDefault<LineAddrHasher>>;
 
 /// Write-handling policy of a cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,8 +163,9 @@ pub struct Cache {
     config: CacheConfig,
     sets: u64,
     lines: Vec<LineState>,
-    /// Outstanding miss line addresses (tag-array side of the MSHR file).
-    mshrs: Vec<u64>,
+    /// Outstanding miss line addresses (tag-array side of the MSHR file),
+    /// keyed for O(1) merge probes and fill releases.
+    mshrs: MshrSet,
     stats: CacheStats,
     tick: u64,
 }
@@ -153,7 +186,7 @@ impl Cache {
                 };
                 (sets * config.ways as u64) as usize
             ],
-            mshrs: Vec::new(),
+            mshrs: MshrSet::default(),
             stats: CacheStats::default(),
             tick: 0,
         }
@@ -246,7 +279,7 @@ impl Cache {
             self.stats.reservation_fails += 1;
             return CacheOutcome::ReservationFail;
         }
-        self.mshrs.push(laddr);
+        self.mshrs.insert(laddr);
 
         // Choose a victim now so a dirty writeback can be reported with the
         // miss (the line itself is installed by `fill`).
@@ -290,9 +323,7 @@ impl Cache {
         }
         self.tick += 1;
         let laddr = self.line_addr(addr);
-        if let Some(pos) = self.mshrs.iter().position(|&m| m == laddr) {
-            self.mshrs.swap_remove(pos);
-        }
+        self.mshrs.remove(&laddr);
         let set = laddr % self.sets;
         let ways = self.config.ways as u64;
         let base = (set * ways) as usize;
@@ -447,6 +478,47 @@ mod tests {
             assert!(matches!(c.access(i * 4, false), CacheOutcome::Miss { .. }));
         }
         assert_eq!(c.stats().miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn mshr_keyed_lookup_preserves_alloc_merge_release() {
+        // Exercises the keyed MSHR store through an interleaved
+        // alloc/merge/release sequence and checks it is observationally
+        // identical to the linear-scan file it replaced: first touch of a
+        // line allocates, later touches merge, capacity gates allocations
+        // (merges still succeed at capacity), and fills release exactly
+        // their own line regardless of alloc/fill ordering.
+        let mut c = small_cache(WritePolicy::WriteBack);
+        for i in 0..4u64 {
+            assert!(matches!(
+                c.access(i * 128, false),
+                CacheOutcome::Miss { .. }
+            ));
+            assert_eq!(c.access(i * 128 + 32, false), CacheOutcome::MshrMerged);
+        }
+        assert_eq!(c.outstanding(), 4);
+        // At capacity: a new line fails reservation, existing lines merge.
+        assert_eq!(c.access(4 * 128, false), CacheOutcome::ReservationFail);
+        assert_eq!(c.access(2 * 128 + 64, false), CacheOutcome::MshrMerged);
+        // Out-of-order fills release the matching entry only.
+        c.fill(2 * 128, false);
+        assert_eq!(c.outstanding(), 3);
+        assert_eq!(c.access(2 * 128, false), CacheOutcome::Hit);
+        // The freed entry is reusable by the line that failed before.
+        assert!(matches!(
+            c.access(4 * 128, false),
+            CacheOutcome::Miss { .. }
+        ));
+        assert_eq!(c.outstanding(), 4);
+        // Releasing a line never filled while outstanding is a no-op for
+        // the other entries.
+        c.fill(0, false);
+        c.fill(128, false);
+        c.fill(3 * 128, false);
+        c.fill(4 * 128, false);
+        assert_eq!(c.outstanding(), 0);
+        assert_eq!(c.stats().mshr_merged, 5);
+        assert_eq!(c.stats().reservation_fails, 1);
     }
 
     #[test]

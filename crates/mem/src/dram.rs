@@ -289,6 +289,45 @@ impl Dram {
         done
     }
 
+    /// Conservative next cycle (≥ `c0`) at which [`Dram::tick`] could do
+    /// observable work: issue a queued request once the bus frees, harvest
+    /// an in-flight completion, or replay the overflow backlog. Returns
+    /// `u64::MAX` when the channel has nothing scheduled.
+    ///
+    /// Used by the engine's idle-cycle fast-forward: every tick strictly
+    /// before the returned cycle only increments `active_cycles`, which
+    /// [`Dram::skip_cycles`] credits exactly.
+    pub fn next_event_cycle(&self, c0: u64) -> u64 {
+        if !self.overflow.is_empty() {
+            // Backlog replay (and its per-tick rejection accounting when the
+            // queue stays full) happens every cycle: never skip over it.
+            return c0;
+        }
+        let mut t = u64::MAX;
+        if !self.queue.is_empty() {
+            t = t.min(self.bus_free_at.max(c0));
+        }
+        if let Some(done) = self.in_flight.iter().map(|&(_, d)| d).min() {
+            t = t.min(done.max(c0));
+        }
+        t
+    }
+
+    /// Credit `span` fast-forwarded cycles starting at `c0` as if
+    /// [`Dram::tick`] had run each one. Sound only when the engine has
+    /// proven `next_event_cycle(c0) > c0 + span - 1`: then each skipped
+    /// tick would only have evaluated the active-cycle condition, whose
+    /// terms are all constant (or expire at a known cycle) over the span.
+    pub fn skip_cycles(&mut self, c0: u64, span: u64) {
+        debug_assert!(self.overflow.is_empty(), "skipped over a backlog replay");
+        if !self.queue.is_empty() || !self.in_flight.is_empty() {
+            self.stats.active_cycles += span;
+        } else {
+            // Idle channel still counts active while the bus drains.
+            self.stats.active_cycles += span.min(self.bus_free_at.saturating_sub(c0));
+        }
+    }
+
     /// Choose the next request index according to the scheduler.
     fn pick(&self, _now: u64) -> Option<usize> {
         if self.queue.is_empty() {
@@ -508,6 +547,43 @@ mod tests {
             }
         }
         assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_tick_accounting() {
+        let cfg = DramConfig::default();
+        let mut per_tick = Dram::new(cfg);
+        let mut skipping = Dram::new(cfg);
+        for d in [&mut per_tick, &mut skipping] {
+            d.push(1, 0, 0);
+            d.push(2, cfg.row_bytes, 0);
+            d.push(3, cfg.row_bytes * cfg.banks as u64, 0);
+        }
+        let mut done_a = Vec::new();
+        for t in 0..300 {
+            for id in per_tick.tick(t) {
+                done_a.push((id, t));
+            }
+        }
+        // Skipping run: tick only at event cycles, credit the gaps.
+        let mut done_b = Vec::new();
+        let mut now = 0u64;
+        while now < 300 {
+            for id in skipping.tick(now) {
+                done_b.push((id, now));
+            }
+            let c0 = now + 1;
+            let target = skipping.next_event_cycle(c0).min(300);
+            if target > c0 {
+                skipping.skip_cycles(c0, target - c0);
+                now = target;
+            } else {
+                now = c0;
+            }
+        }
+        assert_eq!(done_a, done_b, "completions must not shift");
+        assert_eq!(per_tick.stats(), skipping.stats());
+        assert_eq!(per_tick.bank_stats(), skipping.bank_stats());
     }
 
     #[test]

@@ -110,6 +110,14 @@ pub struct GpuConfig {
     /// it from the `GGPU_SIM_THREADS` environment variable when set,
     /// falling back to the host's available parallelism.
     pub sim_threads: usize,
+    /// Idle-cycle fast-forward: when no SM can issue and no queue, channel,
+    /// or dispatcher can change state before a provably-known future cycle,
+    /// `synchronize` jumps the clock to that cycle and credits the skipped
+    /// span to every counter at once. Every statistic, profile, sample, and
+    /// trace is bit-identical with this on or off (the skip only elides
+    /// cycles whose outcome is already determined), so it defaults to on;
+    /// the switch exists for A/B validation and engine debugging.
+    pub fast_forward: bool,
 }
 
 impl Default for GpuConfig {
@@ -148,6 +156,7 @@ impl GpuConfig {
             trace_capacity: 1 << 20,
             trace_cache_fills: false,
             sim_threads: sim_threads_from_env(),
+            fast_forward: true,
         }
     }
 
@@ -185,6 +194,14 @@ impl GpuConfig {
     /// [`GpuConfig::sim_threads`].
     pub fn with_sim_threads(mut self, threads: usize) -> Self {
         self.sim_threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable idle-cycle fast-forward; see
+    /// [`GpuConfig::fast_forward`]. On by default — turning it off forces
+    /// the engine to tick every cycle (A/B validation and debugging).
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 
@@ -284,6 +301,13 @@ mod tests {
                 .resolved_sim_threads(),
             4
         );
+    }
+
+    #[test]
+    fn fast_forward_defaults_on() {
+        assert!(GpuConfig::rtx3070().fast_forward);
+        assert!(GpuConfig::test_small().fast_forward);
+        assert!(!GpuConfig::rtx3070().with_fast_forward(false).fast_forward);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   the single-threaded path.
 
 mod engine;
+mod fastforward;
 mod launch;
 mod memcpy;
 mod parallel;
@@ -97,6 +98,10 @@ pub struct Gpu {
     fault: Option<SimError>,
     /// Last cycle at which the forward-progress watchdog observed activity.
     last_progress: u64,
+    /// Cycles elided by idle-cycle fast-forward ([`GpuConfig::fast_forward`]).
+    /// These cycles are fully accounted in every counter; this tracks how
+    /// much simulated time the engine did not have to tick one-by-one.
+    fast_forward_skipped_cycles: u64,
     /// Replies sent so far, for deterministic drop-the-Nth injection.
     replies_sent: u64,
     /// Where trace events go ([`SinkSlot::Off`] unless tracing is on).
@@ -157,6 +162,7 @@ impl Gpu {
             host: HostStats::default(),
             fault: None,
             last_progress: 0,
+            fast_forward_skipped_cycles: 0,
             replies_sent: 0,
             sink: if config.trace {
                 SinkSlot::Buffer(TraceBuffer::new(config.trace_capacity))
@@ -185,6 +191,14 @@ impl Gpu {
     /// Current simulated cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Simulated cycles elided by idle-cycle fast-forward so far (see
+    /// [`GpuConfig::fast_forward`]). Every skipped cycle is fully credited
+    /// to the counters, so `stats()` is independent of this value; it
+    /// measures engine efficiency, not workload behaviour.
+    pub fn fast_forward_skipped_cycles(&self) -> u64 {
+        self.fast_forward_skipped_cycles
     }
 
     /// Functional device memory (for test setup/inspection).
@@ -243,6 +257,7 @@ impl Gpu {
     /// per-kernel records, interval samples, and the trace buffer.
     pub fn reset_stats(&mut self) {
         self.host = HostStats::default();
+        self.fast_forward_skipped_cycles = 0;
         for lane in &mut self.lanes {
             let _ = lane.core.take_stats();
             lane.core.reset_cache_stats();

@@ -32,7 +32,7 @@ use super::Gpu;
 /// normally fires long before this; the backstop only matters if a workload
 /// keeps producing token progress (e.g. one instruction every few thousand
 /// cycles) forever.
-const MAX_SYNC_CYCLES: u64 = 2_000_000_000;
+pub(super) const MAX_SYNC_CYCLES: u64 = 2_000_000_000;
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub(super) enum Ev {
@@ -89,7 +89,16 @@ impl Gpu {
         }
         let start = self.cycle;
         self.last_progress = self.cycle;
-        let threads = self.config.sim_threads.clamp(1, self.lanes.len().max(1));
+        // Clamp the worker count to the lanes and to the cores actually
+        // present: on an oversubscribed host extra shard threads only add
+        // barrier and context-switch cost (the phases are bit-identical at
+        // any count, so this is purely a wall-clock decision).
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = self
+            .config
+            .sim_threads
+            .clamp(1, self.lanes.len().max(1))
+            .min(cores);
         // Check the lanes and memory out of `self` for the duration of the
         // run: the cycle phases borrow them independently of the rest of
         // the device state (and the parallel executor moves them into
@@ -137,6 +146,9 @@ impl Gpu {
             self.cycle_post(&mut ls, mem, now);
             if let Some(outcome) = self.sync_check(start, &mut ls) {
                 return outcome;
+            }
+            if self.config.fast_forward {
+                self.try_fast_forward(&mut ls, start);
             }
         }
         Ok(())

@@ -1,0 +1,176 @@
+//! Idle-cycle fast-forward: jump the device clock over provably-dead spans.
+//!
+//! Cycle-level workloads spend most of their cycles waiting — on DRAM
+//! round-trips, launch-overhead windows, barriers, long-latency pipes. A
+//! per-cycle engine pays the full pre/SM/post loop for every one of those
+//! cycles even though nothing can change. After each ticked cycle the
+//! engine instead asks every unit for a conservative *next event cycle*:
+//! the earliest future cycle at which that unit could possibly change
+//! architectural or counted state. If the minimum `T` over all units lies
+//! strictly beyond the next cycle `c0`, cycles `c0 .. T-1` are a **dead
+//! span**: every per-cycle side effect within it (stall counters, DRAM
+//! utilisation, per-PC stall attribution, watchdog bookkeeping) is a pure
+//! function of the state at `c0` repeated once per cycle. The engine
+//! credits the whole span in O(1)-per-unit calls and sets the clock to
+//! `T-1`, so the next loop iteration ticks `T` normally.
+//!
+//! # Why this is bit-identical
+//!
+//! Each candidate below bounds `T` so that the corresponding unit's
+//! observable behaviour is provably constant over `[c0, T)`:
+//!
+//! * **SM wakes** — [`ggpu_sm::SmCore::next_wake`] returns `c0` unless
+//!   every live warp is blocked (barrier/CDP-join, scoreboard pending, or
+//!   an issue-interval/operand boundary strictly beyond `c0`). Boundaries
+//!   (`next_issue_at`, `reg_ready`) bound `T`, and scoreboard releases only
+//!   happen via replies, which are network events — bounded below. Hence
+//!   every warp's wait classification, and therefore the per-scheduler
+//!   stall record, is constant over the span and can be credited in one
+//!   [`ggpu_sm::SmCore::skip_cycles`] call.
+//! * **Network** — packets are delivered only when due; the earliest due
+//!   time bounds `T`, so no delivery (and no reply-driven SM change)
+//!   happens inside the span.
+//! * **DRAM** — [`ggpu_mem::Dram::next_event_cycle`] bounds `T` by the
+//!   earliest possible issue (`bus_free_at` with a non-empty queue) or
+//!   completion; a non-empty overflow queue replays every cycle and
+//!   returns `c0`, vetoing the skip.
+//! * **Dispatcher** — an unarmed host-queue head arms next cycle (state
+//!   change), so it vetoes; a grid armed in the future bounds `T` by its
+//!   arm cycle; an armed, partially-dispatched grid vetoes only if some SM
+//!   could actually accept a CTA ([`ggpu_sm::SmCore::can_accept`]) —
+//!   otherwise the sweep fails on every SM each cycle, whose only effect
+//!   is advancing the round-robin cursor by exactly `n_sms` (invisible
+//!   modulo `n_sms`).
+//! * **Sampler** — interval windows close at absolute multiples of the
+//!   period, so the next boundary bounds `T`; the boundary cycle itself is
+//!   ticked normally and flushes with counters identical to the per-cycle
+//!   engine's (span side effects were credited before it).
+//! * **Watchdog** — the deadlock deadline (`last_progress +
+//!   watchdog_cycles`) and the absolute backstop bound `T`, so the ticked
+//!   cycle at which `sync_check` fires — and the cycle stamped into the
+//!   report — are unchanged. The progress predicate itself is constant
+//!   over a dead span (its inputs — in-flight packets, DRAM activity,
+//!   pending arm windows — are exactly what the candidates freeze), so it
+//!   is evaluated once at `c0` and applied to the whole span.
+//!
+//! Anything not listed (L2, interconnect links, memcpy engine) is purely
+//! event-driven on absolute cycle numbers and has no per-cycle state.
+//!
+//! The skip runs in the serial section of both engine variants. In the
+//! multi-threaded engine this is what makes barriers *epoch-batched*: each
+//! barrier pair now fences one **active** cycle plus the entire dead span
+//! behind it, executed by the main thread in the post-phase while the
+//! workers are parked — so barrier cost is paid per epoch, not per cycle.
+
+use super::parallel::LaneSet;
+use super::Gpu;
+
+impl Gpu {
+    /// If the next cycle begins a dead span, credit the span to every unit
+    /// and advance the clock to its last cycle. No-op (the engine keeps
+    /// ticking per-cycle) whenever any unit might act on the next cycle.
+    ///
+    /// Must run between `cycle_post`/`sync_check` of one cycle and
+    /// `cycle_pre` of the next, on the serial thread, with every lane and
+    /// the device state at rest.
+    pub(super) fn try_fast_forward(&mut self, lanes: &mut LaneSet<'_>, start: u64) {
+        if !self.busy_with(lanes) {
+            // The loop is about to exit; a skip here would credit cycles
+            // the per-cycle engine never runs.
+            return;
+        }
+        let c0 = self.cycle + 1;
+        let mut t = self
+            .last_progress
+            .saturating_add(self.config.watchdog_cycles)
+            .min(start.saturating_add(super::engine::MAX_SYNC_CYCLES));
+
+        // SM wakes; pending replies in a port mean the SM consumes them on
+        // the very next tick (cannot happen after a fully merged cycle, but
+        // cheap to keep the invariant local).
+        for lane in lanes.iter_mut() {
+            if !lane.ports.replies.is_empty() {
+                return;
+            }
+            let wake = lane.core.next_wake(c0);
+            if wake <= c0 {
+                return;
+            }
+            t = t.min(wake);
+        }
+
+        // Earliest network delivery (always strictly due in the future
+        // here: `cycle_pre` already popped everything due at the current
+        // cycle, and packets are pushed at least one cycle out).
+        if let Some(due) = self.events.next_due() {
+            if due <= c0 {
+                return;
+            }
+            t = t.min(due);
+        }
+
+        // DRAM channels: earliest issue or completion.
+        for d in &self.dram {
+            let next = d.next_event_cycle(c0);
+            if next <= c0 {
+                return;
+            }
+            t = t.min(next);
+        }
+
+        // Dispatcher: an unarmed host head arms next cycle.
+        if let Some(head) = self.host_queue.front() {
+            if self.grids.get(head).is_some_and(|g| g.armed_at.is_none()) {
+                return;
+            }
+        }
+        for g in self.grids.values() {
+            match g.armed_at {
+                Some(a) if a > c0 => t = t.min(a),
+                Some(_) if !g.fully_dispatched() => {
+                    let threads = g.dims.threads_per_cta();
+                    if lanes.cores().any(|c| c.can_accept(g.kernel, threads)) {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Next interval-sample boundary must be ticked so its window
+        // closes at the exact per-cycle-engine counters.
+        if self.config.sample_interval_cycles != 0 {
+            t = t.min(c0.next_multiple_of(self.config.sample_interval_cycles));
+        }
+
+        if t <= c0 {
+            return;
+        }
+        let span = t - c0;
+
+        // The progress predicate and `device_busy` are constant over the
+        // span (see module docs); evaluate both once at `c0`.
+        let progress = !self.events.is_empty()
+            || self.dram.iter().any(|d| !d.is_idle())
+            || self
+                .grids
+                .values()
+                .any(|g| g.armed_at.is_some_and(|a| a > c0));
+        let device_busy = self
+            .grids
+            .values()
+            .any(|g| !g.fully_dispatched() || g.armed_at.map(|a| c0 < a).unwrap_or(true));
+
+        for lane in lanes.iter_mut() {
+            lane.core.skip_cycles(c0, device_busy, span);
+        }
+        for d in &mut self.dram {
+            d.skip_cycles(c0, span);
+        }
+        self.cycle = t - 1;
+        if progress {
+            self.last_progress = t - 1;
+        }
+        self.fast_forward_skipped_cycles += span;
+    }
+}

@@ -18,10 +18,14 @@
 //! `synchronize` with `sim_threads = N > 1` splits the lanes into N
 //! contiguous shards. Worker threads (spawned once per `synchronize`, not
 //! per cycle) own shards `1..N`; the main thread runs the serial sections
-//! and ticks shard 0 itself. Two barriers fence each cycle:
+//! and ticks shard 0 itself. Two barriers fence each **epoch** — one
+//! active cycle plus the dead span fast-forwarded behind it (see
+//! [`super::fastforward`]), which the main thread retires inside the
+//! post-phase while the workers are parked:
 //!
 //! ```text
-//! main:    [busy? pre-phase]  A  [tick shard 0]  B  [post-phase, checks]
+//! main:    [busy? pre-phase]  A  [tick shard 0]  B  [post-phase, checks,
+//!                                                    fast-forward span]
 //! worker:                     A  [tick shard i]  B
 //! ```
 //!
@@ -230,7 +234,18 @@ impl Gpu {
                             result = outcome;
                             true
                         }
-                        None => false,
+                        None => {
+                            // Epoch batching: fast-forward the dead span
+                            // behind this cycle here, on the serial thread,
+                            // while the workers are parked at barrier A —
+                            // the next barrier pair then fences a whole
+                            // epoch (one active cycle plus its dead span)
+                            // instead of a single cycle.
+                            if self.config.fast_forward {
+                                self.try_fast_forward(&mut ls, start);
+                            }
+                            false
+                        }
                     }
                 };
                 if stop {

@@ -11,11 +11,12 @@ use std::fmt;
 use std::sync::Arc;
 
 use ggpu_isa::{
-    AtomOp, FaultKind, KernelId, LaunchDims, Operand, Program, Reg, SpecialReg, Width, WARP_SIZE,
+    AtomOp, CvtKind, FaultKind, Instr, InstrClass, KernelId, LaunchDims, Operand, Program, Reg,
+    SpecialReg, Width, WARP_SIZE,
 };
 use ggpu_mem::{Cache, CacheStats, LINE_BYTES};
 
-use crate::config::{SchedPolicy, SmConfig};
+use crate::config::{LatencyConfig, SchedPolicy, SmConfig};
 use crate::pc::PcTable;
 use crate::ports::{MemOp, SmPorts, TickOutput};
 use crate::stats::{SmStats, StallReason};
@@ -202,6 +203,63 @@ enum RespRoute {
     Atomic { warp: usize, reg: Reg },
 }
 
+/// Predecoded per-instruction facts for the scheduler and issue hot paths:
+/// operand registers for scoreboard classification plus the resolved result
+/// latency. Built once per program in [`SmCore::new`] so neither the
+/// per-cycle classification in [`SmCore::tick`] nor the issue stage has to
+/// re-match the `Instr` enum for timing.
+#[derive(Debug, Clone, Copy)]
+struct InstrMeta {
+    /// Source registers read by the instruction.
+    srcs: [Option<Reg>; 3],
+    /// Destination register, if any.
+    dst: Option<Reg>,
+    /// Result latency for directly-executed (non-memory, non-control) ops;
+    /// unused (zero) for memory/control instructions whose timing is
+    /// computed at issue.
+    lat: u64,
+    /// Instruction pays the f64 issue-interval penalty.
+    f64_pen: bool,
+}
+
+impl InstrMeta {
+    fn new(instr: &Instr, lat: &LatencyConfig) -> Self {
+        let (l, pen) = match *instr {
+            Instr::Alu { op, .. } => {
+                let l = match op.class() {
+                    InstrClass::Sfu => lat.sfu,
+                    InstrClass::Fp => {
+                        if op.is_f64() {
+                            lat.fp64
+                        } else {
+                            lat.fp32
+                        }
+                    }
+                    _ => lat.int,
+                };
+                (l, op.is_f64())
+            }
+            Instr::Fma { f64, .. } => (if f64 { lat.fp64 } else { lat.fp32 }, f64),
+            Instr::Mov { .. } | Instr::Sreg { .. } => (1, false),
+            Instr::Sel { .. } | Instr::SetP { .. } => (lat.int, false),
+            Instr::Cvt { kind, .. } => {
+                let fp = matches!(
+                    kind,
+                    CvtKind::I2D | CvtKind::D2I | CvtKind::F2D | CvtKind::D2F
+                );
+                (if fp { lat.fp32 } else { lat.int }, false)
+            }
+            _ => (0, false),
+        };
+        InstrMeta {
+            srcs: instr.src_array(),
+            dst: instr.dst(),
+            lat: l,
+            f64_pen: pen,
+        }
+    }
+}
+
 /// A single streaming multiprocessor.
 ///
 /// The device calls [`SmCore::try_launch_cta`] to place work,
@@ -240,6 +298,11 @@ pub struct SmCore {
     scratch_addrs: [u64; WARP_SIZE],
     scratch_lines: Vec<u64>,
     scratch_warps: Vec<usize>,
+    scratch_candidates: Vec<usize>,
+    scratch_ready: Vec<usize>,
+    /// Predecoded instruction metadata, `decoded[kernel][pc]` — indexed
+    /// exactly like [`PcTable`]'s rows.
+    decoded: Vec<Vec<InstrMeta>>,
 }
 
 impl SmCore {
@@ -247,6 +310,15 @@ impl SmCore {
     pub fn new(config: SmConfig, program: Arc<Program>) -> Self {
         SmCore {
             pc_stats: config.attribution.then(|| Box::new(PcTable::new(&program))),
+            decoded: program
+                .iter()
+                .map(|(_, k)| {
+                    k.instrs
+                        .iter()
+                        .map(|i| InstrMeta::new(i, &config.lat))
+                        .collect()
+                })
+                .collect(),
             l1: Cache::new(config.l1),
             cc: Cache::new(config.const_cache),
             tc: Cache::new(config.tex_cache),
@@ -271,6 +343,8 @@ impl SmCore {
             scratch_addrs: [0; WARP_SIZE],
             scratch_lines: Vec::new(),
             scratch_warps: Vec::new(),
+            scratch_candidates: Vec::new(),
+            scratch_ready: Vec::new(),
         }
     }
 
@@ -526,6 +600,13 @@ impl SmCore {
     /// Charge one stall cycle of `reason` to the representative blocked
     /// warp's current PC, or to the unattributed bucket when there is none.
     fn record_pc_stall(&mut self, reason: StallReason, rep: Option<usize>) {
+        self.record_pc_stall_cycles(reason, rep, 1);
+    }
+
+    /// [`SmCore::record_pc_stall`] generalized to a whole span of `cycles`
+    /// identical stall cycles, used when fast-forward credits a skipped
+    /// span in one call.
+    fn record_pc_stall_cycles(&mut self, reason: StallReason, rep: Option<usize>, cycles: u64) {
         let located = rep.and_then(|widx| {
             let w = self.warps.get(widx)?.as_ref()?;
             let pc = w.stack.last()?.pc;
@@ -535,9 +616,150 @@ impl SmCore {
             return;
         };
         match located {
-            Some((kid, pc)) => t.record_stall(kid, pc, reason),
-            None => t.record_unattributed(reason, 1),
+            Some((kid, pc)) => t.record_stall_cycles(kid, pc, reason, cycles),
+            None => t.record_unattributed(reason, cycles),
         }
+    }
+
+    /// Conservative next cycle (≥ `c0`) at which this SM could issue an
+    /// instruction or change its stall classification, assuming no external
+    /// event (memory reply, child-grid completion, CTA dispatch) arrives
+    /// before then — the engine bounds those separately. Returns `c0` when
+    /// some warp is ready right at `c0`, and `u64::MAX` when nothing on
+    /// this SM has a timed wake-up (idle, or blocked only on external
+    /// events).
+    ///
+    /// May pop exhausted divergence-stack entries ([`Warp::reconverge`]),
+    /// exactly as the first scheduling pass at `c0` would; the pops are
+    /// idempotent, so SM state afterwards is identical to what a normal
+    /// tick at `c0` would have observed.
+    pub fn next_wake(&mut self, c0: u64) -> u64 {
+        if self.live_warps == 0 {
+            return u64::MAX;
+        }
+        let mut min = u64::MAX;
+        for widx in 0..self.warps.len() {
+            let kid = {
+                let Some(w) = self.warps[widx].as_ref() else {
+                    continue;
+                };
+                if w.done {
+                    continue;
+                }
+                self.slots[w.cta_slot].cfg.kernel_id
+            };
+            let pc = {
+                let w = self.warps[widx].as_mut().expect("warp checked above");
+                match w.reconverge() {
+                    Some(e) => e.pc,
+                    None => continue,
+                }
+            };
+            let meta = self.decoded.get(kid.0 as usize).and_then(|k| k.get(pc));
+            let w = self.warps[widx].as_ref().expect("warp checked above");
+            if w.block != WarpBlock::None {
+                // Barrier/Dsync/Trapped: released only by another warp's
+                // issue or an external completion; no timed boundary.
+                continue;
+            }
+            let Some(meta) = meta else {
+                // PC off the end of the stream: ready to trap at once.
+                return c0;
+            };
+            if w.next_issue_at > c0 {
+                // Classification is Control/Data until the issue window
+                // reopens; registers are re-examined only from then on.
+                min = min.min(w.next_issue_at);
+                continue;
+            }
+            let mut pending = false;
+            let mut wake = u64::MAX;
+            for r in meta.srcs.iter().flatten().copied().chain(meta.dst) {
+                let i = r.0 as usize;
+                if w.reg_pending[i] > 0 {
+                    // Awaiting memory fills: wakes only via `mem_response`,
+                    // which the engine bounds by its event queue.
+                    pending = true;
+                    break;
+                }
+                if w.reg_ready[i] > c0 {
+                    wake = wake.min(w.reg_ready[i]);
+                }
+            }
+            if pending {
+                continue;
+            }
+            if wake == u64::MAX {
+                // No scoreboard hazard: the warp is ready at c0.
+                return c0;
+            }
+            min = min.min(wake);
+        }
+        min
+    }
+
+    /// Credit `span` fast-forwarded cycles starting at `c0` as if
+    /// [`SmCore::tick`] had run each one: cycle counters advance and every
+    /// scheduler records the same stall it recorded (or would record) at
+    /// `c0`, multiplied by `span`.
+    ///
+    /// Sound only when the engine has proven the span dead — `next_wake(c0)`
+    /// exceeds `c0 + span - 1` for this SM and no external event lands
+    /// inside the span — then every warp keeps its exact classification for
+    /// the whole span and per-cycle accounting telescopes into one
+    /// multiplication.
+    pub fn skip_cycles(&mut self, c0: u64, device_busy: bool, span: u64) {
+        self.stats.cycles += span;
+        let nsched = self.config.schedulers as usize;
+        if self.live_warps == 0 {
+            if device_busy {
+                self.stats
+                    .stalls
+                    .add(StallReason::FunctionalDone, nsched as u64 * span);
+                if let Some(t) = self.pc_stats.as_deref_mut() {
+                    t.record_unattributed(StallReason::FunctionalDone, nsched as u64 * span);
+                }
+            }
+            return;
+        }
+        let mut fallback: Option<(StallReason, Option<usize>)> = None;
+        for sched in 0..nsched {
+            let (reason, rep) = match self.pick(sched, c0) {
+                Ok(_) => {
+                    debug_assert!(false, "fast-forward skipped an issuing cycle");
+                    continue;
+                }
+                Err(e) => e,
+            };
+            let (r, rep) = if reason == StallReason::Idle && self.live_warps > 0 {
+                if fallback.is_none() {
+                    fallback = Some(self.global_wait_reason(c0));
+                }
+                fallback.unwrap_or((reason, rep))
+            } else {
+                (reason, rep)
+            };
+            self.stats.stalls.add(r, span);
+            if self.pc_stats.is_some() {
+                self.record_pc_stall_cycles(r, rep, span);
+            }
+        }
+    }
+
+    /// Would [`SmCore::try_launch_cta`] succeed right now for a CTA of
+    /// `kernel_id` with `threads` threads? Pure resource probe with no side
+    /// effects, used by the engine's fast-forward to prove that a pending
+    /// grid cannot dispatch until resources free up.
+    pub fn can_accept(&self, kernel_id: KernelId, threads: u32) -> bool {
+        let Some(kernel) = self.program.get(kernel_id) else {
+            return false;
+        };
+        let regs = kernel.regs_per_thread * threads;
+        let smem = kernel.smem_per_cta;
+        self.used_slots < self.config.max_ctas
+            && self.used_threads + threads <= self.config.max_threads
+            && self.used_regs + regs <= self.config.registers
+            && self.used_smem + smem <= self.config.smem_bytes
     }
 
     /// Apply this cycle's deferred stores/atomics to `gmem`, in issue order.
@@ -617,46 +839,64 @@ impl SmCore {
             }
             self.slots[w.cta_slot].cfg.kernel_id
         };
-        // Split borrows: take the instruction descriptor values first.
-        let (srcs, dst) = {
-            let program = Arc::clone(&self.program);
+        let pc = {
             let w = self.warps[widx].as_mut()?;
-            let entry = w.reconverge()?;
-            let kernel = program.kernel(kid);
-            match kernel.instrs.get(entry.pc) {
-                Some(instr) => (instr.src_array(), instr.dst()),
-                // PC fell off the instruction stream: report the warp as
-                // ready so the scheduler picks it and `issue` can raise the
-                // InvalidPc trap (unless it is already parked/trapped).
-                None => {
-                    let w = self.warps[widx].as_ref()?;
-                    return Some(if w.block == WarpBlock::None {
-                        WaitKind::Ready
-                    } else {
-                        WaitKind::Sync
-                    });
-                }
-            }
+            w.reconverge()?.pc
         };
-        let w = self.warps[widx].as_ref()?;
-        Some(w.wait_kind(&srcs, dst, now))
+        match self.decoded.get(kid.0 as usize).and_then(|k| k.get(pc)) {
+            Some(meta) => {
+                let (srcs, dst) = (meta.srcs, meta.dst);
+                let w = self.warps[widx].as_ref()?;
+                Some(w.wait_kind(&srcs, dst, now))
+            }
+            // PC fell off the instruction stream: report the warp as
+            // ready so the scheduler picks it and `issue` can raise the
+            // InvalidPc trap (unless it is already parked/trapped).
+            None => {
+                let w = self.warps[widx].as_ref()?;
+                Some(if w.block == WarpBlock::None {
+                    WaitKind::Ready
+                } else {
+                    WaitKind::Sync
+                })
+            }
+        }
     }
 
     /// Scheduler `sched` picks a warp, or reports its stall reason plus the
     /// representative blocked warp the stall is attributed to.
     fn pick(&mut self, sched: usize, now: u64) -> Result<usize, (StallReason, Option<usize>)> {
         let nsched = self.config.schedulers as usize;
-        let candidates: Vec<usize> = (0..self.warps.len())
-            .filter(|i| i % nsched == sched)
-            .filter(|&i| self.warps[i].as_ref().map(|w| !w.done).unwrap_or(false))
-            .collect();
+        // Reusable scratch: candidate and ready sets are rebuilt every
+        // cycle but never allocate after warm-up.
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        candidates.clear();
+        ready.clear();
+        for i in (sched..self.warps.len()).step_by(nsched.max(1)) {
+            if self.warps[i].as_ref().map(|w| !w.done).unwrap_or(false) {
+                candidates.push(i);
+            }
+        }
+        let result = self.pick_from(sched, &candidates, &mut ready, now);
+        self.scratch_candidates = candidates;
+        self.scratch_ready = ready;
+        result
+    }
+
+    fn pick_from(
+        &mut self,
+        sched: usize,
+        candidates: &[usize],
+        ready: &mut Vec<usize>,
+        now: u64,
+    ) -> Result<usize, (StallReason, Option<usize>)> {
         if candidates.is_empty() {
             return Err((StallReason::Idle, None));
         }
 
         let mut best_wait: Option<(WaitKind, usize)> = None;
-        let mut ready: Vec<usize> = Vec::new();
-        for &i in &candidates {
+        for &i in candidates {
             match self.classify(i, now) {
                 Some(WaitKind::Ready) => ready.push(i),
                 Some(k)
@@ -700,17 +940,17 @@ impl SmCore {
                     if ready.contains(&cur) {
                         cur
                     } else {
-                        let w = self.oldest(&ready);
+                        let w = self.oldest(ready);
                         self.gto_current[sched] = Some(w);
                         w
                     }
                 } else {
-                    let w = self.oldest(&ready);
+                    let w = self.oldest(ready);
                     self.gto_current[sched] = Some(w);
                     w
                 }
             }
-            SchedPolicy::Old => self.oldest(&ready),
+            SchedPolicy::Old => self.oldest(ready),
         };
         Ok(chosen)
     }

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use ggpu_isa::{AtomOp, CvtKind, FaultKind, Instr, Kernel, Operand, Reg, Space, Width, WARP_SIZE};
+use ggpu_isa::{AtomOp, FaultKind, Instr, Kernel, Operand, Reg, Space, Width, WARP_SIZE};
 use ggpu_mem::{CacheOutcome, LINE_BYTES};
 
 use crate::coalesce::{bank_conflict_degree, coalesce_lines};
@@ -54,6 +54,9 @@ impl SmCore {
         let nlanes = mask.count_ones();
         let pc = entry.pc;
         let lat = self.config.lat;
+        // Predecoded result latency for the directly-executed arms below —
+        // no per-issue re-match of the op class.
+        let meta = self.decoded[kid.0 as usize][pc];
 
         self.stats.record_issue(instr.class(), nlanes);
         out.issued += 1;
@@ -83,19 +86,8 @@ impl SmCore {
                     let bv = Self::opval(w, b, lane);
                     w.write(dst, lane, op.eval(av, bv));
                 }
-                let l = match op.class() {
-                    ggpu_isa::InstrClass::Sfu => lat.sfu,
-                    ggpu_isa::InstrClass::Fp => {
-                        if op.is_f64() {
-                            lat.fp64
-                        } else {
-                            lat.fp32
-                        }
-                    }
-                    _ => lat.int,
-                };
-                w.reg_ready[dst.0 as usize] = now + l;
-                if op.is_f64() {
+                w.reg_ready[dst.0 as usize] = now + meta.lat;
+                if meta.f64_pen {
                     w.next_issue_at = now + lat.f64_interval;
                 }
                 w.advance_pc();
@@ -121,8 +113,8 @@ impl SmCore {
                     };
                     w.write(dst, lane, r);
                 }
-                w.reg_ready[dst.0 as usize] = now + if f64 { lat.fp64 } else { lat.fp32 };
-                if f64 {
+                w.reg_ready[dst.0 as usize] = now + meta.lat;
+                if meta.f64_pen {
                     w.next_issue_at = now + lat.f64_interval;
                 }
                 w.advance_pc();
@@ -135,7 +127,7 @@ impl SmCore {
                     let v = Self::opval(w, src, lane);
                     w.write(dst, lane, v);
                 }
-                w.reg_ready[dst.0 as usize] = now + 1;
+                w.reg_ready[dst.0 as usize] = now + meta.lat;
                 w.advance_pc();
             }
             Instr::Sel {
@@ -156,7 +148,7 @@ impl SmCore {
                     };
                     w.write(dst, lane, v);
                 }
-                w.reg_ready[dst.0 as usize] = now + lat.int;
+                w.reg_ready[dst.0 as usize] = now + meta.lat;
                 w.advance_pc();
             }
             Instr::SetP {
@@ -174,7 +166,7 @@ impl SmCore {
                     let bv = Self::opval(w, b, lane);
                     w.write(pred, lane, cmp.eval(ty, av, bv) as u64);
                 }
-                w.reg_ready[pred.0 as usize] = now + lat.int;
+                w.reg_ready[pred.0 as usize] = now + meta.lat;
                 w.advance_pc();
             }
             Instr::Cvt { kind, dst, src } => {
@@ -185,11 +177,7 @@ impl SmCore {
                     let v = Self::opval(w, src, lane);
                     w.write(dst, lane, kind.eval(v));
                 }
-                let fp = matches!(
-                    kind,
-                    CvtKind::I2D | CvtKind::D2I | CvtKind::F2D | CvtKind::D2F
-                );
-                w.reg_ready[dst.0 as usize] = now + if fp { lat.fp32 } else { lat.int };
+                w.reg_ready[dst.0 as usize] = now + meta.lat;
                 w.advance_pc();
             }
             Instr::Sreg { dst, sreg } => {
@@ -201,7 +189,7 @@ impl SmCore {
                 for lane in lanes(mask) {
                     w.write(dst, lane, Self::sreg_value(cfg, wic, lane, sreg));
                 }
-                w.reg_ready[dst.0 as usize] = now + 1;
+                w.reg_ready[dst.0 as usize] = now + meta.lat;
                 w.advance_pc();
             }
             Instr::Ld {

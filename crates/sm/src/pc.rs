@@ -122,9 +122,22 @@ impl PcTable {
     /// falling back to the unattributed bucket when the PC is out of range.
     #[inline]
     pub fn record_stall(&mut self, kid: KernelId, pc: usize, reason: StallReason) {
+        self.record_stall_cycles(kid, pc, reason, 1);
+    }
+
+    /// Charge `cycles` identical stall cycles to one PC in a single call —
+    /// the fast-forward path credits a whole skipped span at once.
+    #[inline]
+    pub fn record_stall_cycles(
+        &mut self,
+        kid: KernelId,
+        pc: usize,
+        reason: StallReason,
+        cycles: u64,
+    ) {
         match self.row(kid, pc) {
-            Some(r) => r.stalls.add(reason, 1),
-            None => self.unattributed.add(reason, 1),
+            Some(r) => r.stalls.add(reason, cycles),
+            None => self.unattributed.add(reason, cycles),
         }
     }
 
