@@ -387,6 +387,15 @@ fn build_search_kernel(name: &str, cdp_child: Option<u32>) -> Kernel {
     k
 }
 
+/// Emit the non-CDP FM-index search kernel for embedding in an external
+/// host program (the serving layer builds its mapper from this). Same ABI
+/// as the benchmark's kernel: `0 reads, 1 occ, 2 out, 3 n_reads,
+/// 4 read_offset, 5 stride, 6 sa, 7 text, 8 read_len, 9 scratch(unused)`,
+/// with [`FmTables::const_data`] bound as constant memory.
+pub fn build_fm_search_kernel(name: &str) -> Kernel {
+    build_search_kernel(name, None)
+}
+
 /// The NvB benchmark instance.
 #[derive(Debug, Clone)]
 pub struct NvbBench {

@@ -207,6 +207,18 @@ impl Dram {
         self.overflow.clear();
     }
 
+    /// Precharge every bank (close all open rows). Used at canonical kernel
+    /// boundaries so the row-buffer state a grid starts from never depends
+    /// on what ran before it. Only meaningful on an idle channel — by then
+    /// every `ready_at` and the bus have already expired, so forgetting the
+    /// open rows is the channel's entire residual state.
+    pub fn close_rows(&mut self) {
+        debug_assert!(self.is_idle(), "close_rows on a busy channel");
+        for b in &mut self.banks {
+            b.open_row = None;
+        }
+    }
+
     /// Enqueue a request; returns `false` (and counts a rejection) when the
     /// queue is full, in which case the caller must retry later.
     pub fn push(&mut self, id: u64, addr: u64, now: u64) -> bool {
@@ -473,6 +485,44 @@ mod tests {
         let done = drain(&mut d, 500);
         assert_eq!(done.len(), 1);
         assert!(d.is_idle());
+    }
+
+    #[test]
+    fn close_rows_forgets_open_row_state() {
+        let cfg = DramConfig::default();
+        let mut d = Dram::new(cfg);
+        // Open row 0 of bank 0, then measure a same-row access: a row hit.
+        d.push(0, 0, 0);
+        let _ = drain(&mut d, 100);
+        assert!(d.is_idle());
+        d.push(1, 64, 100);
+        let mut done = Vec::new();
+        for t in 100..300 {
+            for id in d.tick(t) {
+                done.push((id, t));
+            }
+        }
+        let t_hit = done[0].1 - 100;
+
+        // Same sequence, but the rows are closed between the two accesses:
+        // the second access now pays the activate latency again.
+        let mut d2 = Dram::new(cfg);
+        d2.push(0, 0, 0);
+        let _ = drain(&mut d2, 100);
+        d2.close_rows();
+        d2.push(1, 64, 100);
+        let mut done2 = Vec::new();
+        for t in 100..300 {
+            for id in d2.tick(t) {
+                done2.push((id, t));
+            }
+        }
+        let t_closed = done2[0].1 - 100;
+        assert!(
+            t_closed > t_hit,
+            "closed-row access ({t_closed}) must be slower than a row hit ({t_hit})"
+        );
+        assert_eq!(t_closed - t_hit, cfg.t_rcd, "difference is the activate");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Typed admission and service errors.
+//!
+//! Overload is a *first-class, typed* outcome: a saturated service answers
+//! [`AdmitError::Overloaded`] with a retry hint instead of growing without
+//! bound (and eventually dying on device OOM) or panicking.
+
+use crate::job::Tenant;
+
+/// Why a submission was refused at the door. None of these are sticky —
+/// the service stays healthy and later submissions may succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The admission queue is full and the arrival did not outrank any
+    /// queued job. Resubmit after roughly `retry_after_rounds` scheduling
+    /// rounds.
+    Overloaded {
+        /// Estimated rounds until the backlog drains enough to admit.
+        retry_after_rounds: u64,
+    },
+    /// The tenant already has `in_flight` jobs admitted against a quota of
+    /// `quota`.
+    QuotaExceeded {
+        /// The tenant over quota.
+        tenant: Tenant,
+        /// Jobs currently admitted (queued or running) for the tenant.
+        in_flight: usize,
+        /// The per-tenant cap.
+        quota: usize,
+    },
+    /// A sequence exceeds the largest configured shape bucket.
+    TooLarge {
+        /// Offending sequence length.
+        len: usize,
+        /// Largest length the service was built to serve.
+        max: usize,
+    },
+    /// The job cannot be expressed in any configured kernel shape (wrong
+    /// fixed length, mismatched read/qual lengths, service built without
+    /// that pipeline, ...).
+    UnsupportedShape {
+        /// Human-readable reason.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Overloaded { retry_after_rounds } => write!(
+                f,
+                "service overloaded: retry after ~{retry_after_rounds} round(s)"
+            ),
+            AdmitError::QuotaExceeded {
+                tenant,
+                in_flight,
+                quota,
+            } => write!(
+                f,
+                "tenant {} quota exceeded: {in_flight} in flight, quota {quota}",
+                tenant.0
+            ),
+            AdmitError::TooLarge { len, max } => {
+                write!(f, "sequence too large: {len} bases, service max {max}")
+            }
+            AdmitError::UnsupportedShape { why } => write!(f, "unsupported job shape: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A device-wide (default-stream) failure the service cannot recover from
+/// by stream surgery. Service workers never touch the default stream, so
+/// seeing one means the simulator itself is misbehaving.
+#[derive(Debug, Clone)]
+pub struct ServiceDead {
+    /// The underlying device error, rendered.
+    pub error: String,
+}
+
+impl std::fmt::Display for ServiceDead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device-wide fault escaped stream isolation: {}",
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for ServiceDead {}

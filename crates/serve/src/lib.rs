@@ -1,0 +1,123 @@
+//! `ggpu-serve` — a fault-isolated, backpressured alignment service over
+//! the Genomics-GPU simulator.
+//!
+//! The benchmarks in this suite drive the device like a batch job: build
+//! inputs, launch, synchronize, verify. Real genome-analysis deployments
+//! look different — a queue of heterogeneous alignment *requests* arriving
+//! continuously, sharing one device, where a single poisoned request must
+//! not take the fleet down. This crate reproduces that host-side serving
+//! layer on top of the simulator's stream model:
+//!
+//! * **Typed jobs** ([`JobKind`]): Smith–Waterman pairwise scoring,
+//!   FM-index read mapping against a resident reference, and Pair-HMM
+//!   forward likelihoods.
+//! * **Shape batching** ([`ShapeKey`]): same-shaped requests fuse into one
+//!   grid — same kernel binary, same strides — and are scheduled onto
+//!   CUDA-style streams, one worker (stream + private slabs) at a time.
+//! * **Admission control**: a bounded queue with per-tenant quotas.
+//!   Overload answers a typed [`AdmitError::Overloaded`] with a retry
+//!   hint — never an OOM abort — and sheds the lowest-priority queued job
+//!   when a strictly higher-priority request arrives ([`JobOutcome::Shed`]).
+//! * **Fault isolation & recovery**: a guest fault, hang, or deadline
+//!   overrun poisons only the owning stream
+//!   ([`ggpu_sim::Gpu::stream_fault`]); the service resets the stream
+//!   ([`ggpu_sim::Gpu::reset_stream`]), moves the worker to a fresh one,
+//!   and retries the batch with capped exponential backoff. Exhausted
+//!   batches split in half, so a single poisoned job converges to its own
+//!   terminal [`JobOutcome`] while its batch-mates still complete.
+//! * **Deadlines**: per-job cycle budgets ride the launch
+//!   ([`ggpu_sim::LaunchOptions::deadline`]) and are enforced *on device*
+//!   by the watchdog machinery.
+//!
+//! Everything is deterministic: given the same submissions and the same
+//! fault plan, outcomes and device statistics are bit-identical at any
+//! `sim_threads` — which is what makes the fault-injection soak in
+//! `tests/serve_soak.rs` assertable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod error;
+mod job;
+mod metrics;
+mod queue;
+mod service;
+mod shape;
+
+pub use error::{AdmitError, ServiceDead};
+pub use job::{JobId, JobKind, JobOutcome, JobOutput, JobSpec, Priority, Tenant};
+pub use metrics::ServeMetrics;
+pub use service::Service;
+pub use shape::{shape_of, ShapeKey};
+
+use ggpu_sim::GpuConfig;
+
+/// Static configuration of a [`Service`].
+///
+/// Kernel shapes are compile-time properties of the service: pairwise
+/// length buckets, the FM read length, and the Pair-HMM pair geometry are
+/// all fixed at [`Service::new`], and jobs that fit no configured shape
+/// are refused at admission with a typed error.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Base device configuration. The service forces the isolation knobs
+    /// it depends on (`stream_isolation`, `kernel_records`,
+    /// `flush_between_kernels`) regardless of what this says.
+    pub gpu: GpuConfig,
+    /// Concurrent workers (one stream + slab set each).
+    pub workers: usize,
+    /// Admission queue bound; beyond it submissions shed or are refused.
+    pub queue_capacity: usize,
+    /// Maximum admitted-but-unfinished jobs per tenant.
+    pub tenant_quota: usize,
+    /// Maximum jobs fused into one grid.
+    pub max_batch: usize,
+    /// Launch attempts per batch before it splits (deadline overruns
+    /// split immediately — rerunning identical work in a deterministic
+    /// simulator would overrun identically).
+    pub max_attempts: u32,
+    /// Backoff after the first failure, in scheduling rounds.
+    pub backoff_base: u64,
+    /// Backoff ceiling, in rounds.
+    pub backoff_cap: u64,
+    /// Pairwise stride buckets (bases). A pair is served by the smallest
+    /// bucket that fits it; longer pairs are [`AdmitError::TooLarge`].
+    pub pairwise_buckets: Vec<u32>,
+    /// Reference genome (2-bit codes) for FM mapping; empty disables the
+    /// FM pipeline.
+    pub fm_genome: Vec<u8>,
+    /// Fixed FM read length (bases).
+    pub fm_read_len: u32,
+    /// Fixed Pair-HMM read length; 0 disables the pipeline.
+    pub phmm_read_len: u32,
+    /// Fixed Pair-HMM haplotype length (must be >= the read length).
+    pub phmm_hap_len: u32,
+    /// Cycle budget applied to jobs that set none; `None` leaves them
+    /// unbounded (the device watchdog still applies).
+    pub default_deadline: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A small configuration for tests: two workers, modest buckets, and
+    /// the fast unit-test device. FM serving stays disabled until a
+    /// genome is supplied.
+    pub fn test_small() -> Self {
+        ServeConfig {
+            gpu: GpuConfig::test_small(),
+            workers: 2,
+            queue_capacity: 32,
+            tenant_quota: 24,
+            max_batch: 8,
+            max_attempts: 3,
+            backoff_base: 1,
+            backoff_cap: 8,
+            pairwise_buckets: vec![32, 64],
+            fm_genome: Vec::new(),
+            fm_read_len: 16,
+            phmm_read_len: 10,
+            phmm_hap_len: 14,
+            default_deadline: None,
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Service counters: one cheap, copyable struct, bumped inline.
+
+/// Monotonic counters over a [`crate::Service`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Jobs offered to [`crate::Service::submit`].
+    pub submitted: u64,
+    /// Jobs that passed admission.
+    pub admitted: u64,
+    /// Submissions refused with [`crate::AdmitError::Overloaded`].
+    pub rejected_overload: u64,
+    /// Submissions refused with [`crate::AdmitError::QuotaExceeded`].
+    pub rejected_quota: u64,
+    /// Submissions refused for shape ([`crate::AdmitError::TooLarge`] or
+    /// [`crate::AdmitError::UnsupportedShape`]).
+    pub rejected_shape: u64,
+    /// Queued jobs shed to admit higher-priority arrivals.
+    pub shed: u64,
+    /// Jobs finished with [`crate::JobOutcome::Done`].
+    pub completed: u64,
+    /// Jobs finished with [`crate::JobOutcome::Failed`].
+    pub failed: u64,
+    /// Jobs finished with [`crate::JobOutcome::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Fused grids launched (including retries).
+    pub batches_launched: u64,
+    /// Batches re-queued after a recoverable failure.
+    pub retries: u64,
+    /// Batches split in half after exhausting retries.
+    pub splits: u64,
+    /// Faulted worker streams reset via [`ggpu_sim::Gpu::reset_stream`].
+    pub stream_resets: u64,
+    /// Fresh streams created to replace killed ones.
+    pub streams_created: u64,
+    /// Scheduling rounds executed.
+    pub rounds: u64,
+}

@@ -1,0 +1,76 @@
+//! Bounded admission queue with priority shedding.
+//!
+//! The queue is FIFO per shape — batches are assembled in arrival order —
+//! but under overload it degrades gracefully instead of rejecting
+//! blindly: a full queue sheds its lowest-priority entry (oldest among
+//! ties) to admit a strictly higher-priority arrival.
+
+use std::collections::VecDeque;
+
+use crate::job::{JobSpec, Priority};
+use crate::shape::ShapeKey;
+
+/// One admitted, not-yet-batched job with its precomputed shape.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedJob {
+    pub(crate) spec: JobSpec,
+    pub(crate) shape: ShapeKey,
+}
+
+/// The admission queue. Capacity is enforced by the caller (`Service`)
+/// so rejection can carry a typed, informative error.
+#[derive(Debug, Default)]
+pub(crate) struct AdmissionQueue {
+    jobs: VecDeque<QueuedJob>,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, job: QueuedJob) {
+        self.jobs.push_back(job);
+    }
+
+    /// Remove and return the oldest lowest-priority entry iff its priority
+    /// is strictly below `incoming` — the shed rule. `None` leaves the
+    /// queue untouched (the arrival must be rejected instead).
+    pub(crate) fn shed_for(&mut self, incoming: Priority) -> Option<QueuedJob> {
+        let (idx, lowest) = self
+            .jobs
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, j)| (j.spec.priority, *i))
+            .map(|(i, j)| (i, j.spec.priority))?;
+        if lowest < incoming {
+            self.jobs.remove(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Assemble the next batch: the front job's shape, plus up to
+    /// `max - 1` later jobs of the same shape, in arrival order.
+    pub(crate) fn take_batch(&mut self, max: usize) -> Vec<QueuedJob> {
+        let Some(front) = self.jobs.front() else {
+            return Vec::new();
+        };
+        let shape = front.shape;
+        let mut batch = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.jobs.len());
+        for job in self.jobs.drain(..) {
+            if batch.len() < max && job.shape == shape {
+                batch.push(job);
+            } else {
+                rest.push_back(job);
+            }
+        }
+        self.jobs = rest;
+        batch
+    }
+}

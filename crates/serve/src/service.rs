@@ -1,0 +1,602 @@
+//! The service proper: admission, batching, stream scheduling, recovery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ggpu_isa::{KernelId, LaunchDims, Program};
+use ggpu_kernels::dp::{build_dp_kernel, scoring_const_data, DpKernelCfg, DpMode};
+use ggpu_kernels::nvb::{build_fm_search_kernel, FmTables};
+use ggpu_kernels::pairhmm::{build_pairhmm_kernel, phred_const_data, PairHmmKernelCfg, RowStorage};
+use ggpu_kernels::pairwise::{GAP_EXTEND, GAP_OPEN, MATCH, MISMATCH};
+use ggpu_sim::{DevicePtr, Gpu, LaunchOptions, SimError, StreamId};
+
+use crate::batch::{self, Batch};
+use crate::error::{AdmitError, ServiceDead};
+use crate::job::{JobId, JobKind, JobOutcome, JobSpec, Priority, Tenant};
+use crate::metrics::ServeMetrics;
+use crate::queue::{AdmissionQueue, QueuedJob};
+use crate::shape::{shape_of, ShapeKey};
+use crate::ServeConfig;
+
+/// A compiled pairwise pipeline: one kernel per length bucket.
+struct DpPipe {
+    bucket: u32,
+    kernel: KernelId,
+    tpc: u32,
+}
+
+/// The FM-index pipeline: kernel plus device-resident reference tables
+/// (uploaded once at build, shared read-only by every stream).
+struct FmPipe {
+    kernel: KernelId,
+    text: DevicePtr,
+    occ: DevicePtr,
+    sa: DevicePtr,
+    read_len: u32,
+}
+
+/// The Pair-HMM pipeline (shared-memory rows — no per-launch scratch).
+struct PhPipe {
+    kernel: KernelId,
+    tpc: u32,
+}
+
+/// One worker: a stream plus its private input/output slabs. Slabs are
+/// allocated eagerly at build time and reused for every batch, so the
+/// request path never allocates device memory — overload surfaces as a
+/// typed admission error, not as OOM mid-flight.
+struct Worker {
+    stream: StreamId,
+    in_a: DevicePtr,
+    in_b: DevicePtr,
+    in_c: DevicePtr,
+    out: DevicePtr,
+}
+
+/// The alignment service. See the crate docs for the architecture.
+pub struct Service {
+    cfg: ServeConfig,
+    gpu: Gpu,
+    dp: Vec<DpPipe>,
+    fm: Option<FmPipe>,
+    ph: Option<PhPipe>,
+    workers: Vec<Worker>,
+    queue: AdmissionQueue,
+    parked: Vec<Batch>,
+    inflight: HashMap<Tenant, usize>,
+    outcomes: BTreeMap<JobId, JobOutcome>,
+    metrics: ServeMetrics,
+    round: u64,
+    next_job: u64,
+}
+
+/// Largest thread count (a power of two, at most `cap`) whose shared-
+/// memory rows fit the per-SM budget.
+fn pick_tpc(row_bytes: u32, smem_bytes: u32, cap: u32) -> u32 {
+    let mut tpc = cap.max(1).next_power_of_two();
+    while tpc > 1 && row_bytes.saturating_mul(tpc) > smem_bytes {
+        tpc /= 2;
+    }
+    tpc
+}
+
+impl Service {
+    /// Build the service: compile every configured kernel shape, upload
+    /// the FM reference, create one stream and one slab set per worker.
+    /// Every device byte the request path will ever touch is allocated
+    /// here.
+    pub fn new(cfg: ServeConfig) -> Result<Self, SimError> {
+        let mut gcfg = cfg.gpu.clone();
+        // The service owns the isolation contract: per-stream fault
+        // scoping, canonical kernel boundaries, and per-grid records are
+        // not optional here.
+        gcfg.stream_isolation = true;
+        gcfg.kernel_records = true;
+        gcfg.flush_between_kernels = true;
+        gcfg.sample_interval_cycles = 0;
+        let smem = gcfg.sm.smem_bytes;
+
+        let mut program = Program::new();
+        let mut dp_cfgs = Vec::new();
+        for &bucket in &cfg.pairwise_buckets {
+            let tpc = pick_tpc(2 * (bucket + 1) * 8, smem, 64);
+            let kcfg = DpKernelCfg {
+                mode: DpMode::Local,
+                max_len: bucket,
+                rows_in_smem: true,
+                threads_per_cta: tpc,
+                matches: MATCH,
+                mismatch: MISMATCH,
+                open: GAP_OPEN,
+                extend: GAP_EXTEND,
+                shared_target: false,
+                subst_matrix: None,
+            };
+            let kernel = program.add(build_dp_kernel(&format!("serve-sw-{bucket}"), &kcfg));
+            dp_cfgs.push((
+                DpPipe {
+                    bucket,
+                    kernel,
+                    tpc,
+                },
+                kcfg,
+            ));
+        }
+        let fm_tables = (!cfg.fm_genome.is_empty()).then(|| FmTables::build(&cfg.fm_genome));
+        let fm_kernel = fm_tables
+            .as_ref()
+            .map(|_| program.add(build_fm_search_kernel("serve-fm")));
+        let ph_cfg = (cfg.phmm_read_len > 0 && cfg.phmm_hap_len >= cfg.phmm_read_len).then(|| {
+            PairHmmKernelCfg {
+                read_len: cfg.phmm_read_len,
+                hap_len: cfg.phmm_hap_len,
+                rows: RowStorage::Shared,
+                threads_per_cta: pick_tpc(6 * (cfg.phmm_hap_len + 1) * 8, smem, 32),
+            }
+        });
+        let ph_kernel = ph_cfg
+            .as_ref()
+            .map(|c| program.add(build_pairhmm_kernel("serve-pairhmm", c)));
+
+        let mut gpu = Gpu::new(program, gcfg);
+        let mut dp = Vec::new();
+        for (pipe, kcfg) in dp_cfgs {
+            gpu.bind_constants(pipe.kernel, scoring_const_data(&kcfg));
+            dp.push(pipe);
+        }
+        let fm = match (fm_tables, fm_kernel) {
+            (Some(tables), Some(kernel)) => {
+                gpu.bind_constants(kernel, tables.const_data());
+                let text = gpu.try_malloc(tables.text.len() as u64)?;
+                let occ = gpu.try_malloc(tables.occ.len() as u64 * 4)?;
+                let sa = gpu.try_malloc(tables.sa.len() as u64 * 4)?;
+                gpu.try_memcpy_h2d(text, &tables.text)?;
+                let occ_bytes: Vec<u8> = tables.occ.iter().flat_map(|v| v.to_le_bytes()).collect();
+                gpu.try_memcpy_h2d(occ, &occ_bytes)?;
+                let sa_bytes: Vec<u8> = tables.sa.iter().flat_map(|v| v.to_le_bytes()).collect();
+                gpu.try_memcpy_h2d(sa, &sa_bytes)?;
+                Some(FmPipe {
+                    kernel,
+                    text,
+                    occ,
+                    sa,
+                    read_len: cfg.fm_read_len,
+                })
+            }
+            _ => None,
+        };
+        let ph = match (ph_cfg, ph_kernel) {
+            (Some(c), Some(kernel)) => {
+                gpu.bind_constants(kernel, phred_const_data());
+                Some(PhPipe {
+                    kernel,
+                    tpc: c.threads_per_cta,
+                })
+            }
+            _ => None,
+        };
+
+        // Slab sizing: the maximum any shape needs for a full batch.
+        let nb = cfg.max_batch.max(1) as u64;
+        let lmax = cfg.pairwise_buckets.iter().copied().max().unwrap_or(0) as u64;
+        let a_bytes = (nb * lmax)
+            .max(nb * cfg.fm_read_len as u64)
+            .max(nb * cfg.phmm_read_len as u64)
+            .max(1);
+        let b_bytes = (nb * lmax).max(nb * cfg.phmm_read_len as u64).max(1);
+        let c_bytes = (nb * 4).max(nb * cfg.phmm_hap_len as u64).max(1);
+        let mut workers = Vec::new();
+        let mut metrics = ServeMetrics::default();
+        for _ in 0..cfg.workers.max(1) {
+            workers.push(Worker {
+                stream: gpu.create_stream(),
+                in_a: gpu.try_malloc(a_bytes)?,
+                in_b: gpu.try_malloc(b_bytes)?,
+                in_c: gpu.try_malloc(c_bytes)?,
+                out: gpu.try_malloc(nb * 8)?,
+            });
+            metrics.streams_created += 1;
+        }
+
+        Ok(Service {
+            cfg,
+            gpu,
+            dp,
+            fm,
+            ph,
+            workers,
+            queue: AdmissionQueue::default(),
+            parked: Vec::new(),
+            inflight: HashMap::new(),
+            outcomes: BTreeMap::new(),
+            metrics,
+            round: 0,
+            next_job: 0,
+        })
+    }
+
+    /// Submit one job. Admission is synchronous and typed: the job is
+    /// either queued (returning its [`JobId`]) or refused with an
+    /// [`AdmitError`] that tells the client exactly why and what to do.
+    pub fn submit(
+        &mut self,
+        tenant: Tenant,
+        priority: Priority,
+        deadline: Option<u64>,
+        kind: JobKind,
+    ) -> Result<JobId, AdmitError> {
+        self.metrics.submitted += 1;
+        let shape = match shape_of(&kind, &self.cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                self.metrics.rejected_shape += 1;
+                return Err(e);
+            }
+        };
+        let in_flight = self.inflight.get(&tenant).copied().unwrap_or(0);
+        if in_flight >= self.cfg.tenant_quota {
+            self.metrics.rejected_quota += 1;
+            return Err(AdmitError::QuotaExceeded {
+                tenant,
+                in_flight,
+                quota: self.cfg.tenant_quota,
+            });
+        }
+        if self.queue.len() >= self.cfg.queue_capacity {
+            match self.queue.shed_for(priority) {
+                Some(victim) => {
+                    self.metrics.shed += 1;
+                    self.finish(victim.spec.id, victim.spec.tenant, JobOutcome::Shed);
+                }
+                None => {
+                    self.metrics.rejected_overload += 1;
+                    let per_round = (self.workers.len() * self.cfg.max_batch.max(1)) as u64;
+                    return Err(AdmitError::Overloaded {
+                        retry_after_rounds: (self.queue.len() as u64 / per_round.max(1)).max(1),
+                    });
+                }
+            }
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        *self.inflight.entry(tenant).or_insert(0) += 1;
+        self.metrics.admitted += 1;
+        self.queue.push(QueuedJob {
+            spec: JobSpec {
+                id,
+                tenant,
+                priority,
+                deadline,
+                kind,
+            },
+            shape,
+        });
+        Ok(id)
+    }
+
+    /// Run one scheduling round: un-park batches whose backoff expired,
+    /// fill the remaining workers from the admission queue, launch every
+    /// batch on its worker's stream, synchronize once, then settle each
+    /// stream — faulted streams are reset (and replaced with fresh ones)
+    /// and their batches re-queued, healthy streams' results are decoded.
+    pub fn run_round(&mut self) -> Result<(), ServiceDead> {
+        self.round += 1;
+        self.metrics.rounds += 1;
+        let mut work: Vec<Batch> = Vec::new();
+        let mut still_parked = Vec::new();
+        for b in std::mem::take(&mut self.parked) {
+            if b.not_before <= self.round && work.len() < self.workers.len() {
+                work.push(b);
+            } else {
+                still_parked.push(b);
+            }
+        }
+        self.parked = still_parked;
+        while work.len() < self.workers.len() {
+            let jobs = self.queue.take_batch(self.cfg.max_batch.max(1));
+            if jobs.is_empty() {
+                break;
+            }
+            work.push(Batch::new(jobs));
+        }
+        if work.is_empty() {
+            return Ok(());
+        }
+
+        let mut launched: Vec<(usize, Batch)> = Vec::new();
+        let mut failed: Vec<(Batch, SimError)> = Vec::new();
+        for (w, batch) in work.into_iter().enumerate() {
+            match self.upload_and_launch(w, &batch) {
+                Ok(()) => {
+                    self.metrics.batches_launched += 1;
+                    launched.push((w, batch));
+                }
+                // Host-side failure (e.g. a dropped PCIe transfer):
+                // nothing reached the device for this batch.
+                Err(e) => failed.push((batch, e)),
+            }
+        }
+        if !launched.is_empty() {
+            // Streams >= 1 never poison the device: a worker fault leaves
+            // this Ok and is read back per stream below.
+            self.gpu.try_synchronize().map_err(|e| ServiceDead {
+                error: e.to_string(),
+            })?;
+        }
+        for (w, batch) in launched {
+            let stream = self.workers[w].stream;
+            if let Some(err) = self.gpu.stream_fault(stream).cloned() {
+                // Recover the stream (proves the device survives), then
+                // retire it — retries go out on a fresh stream.
+                let _ = self.gpu.reset_stream(stream);
+                self.metrics.stream_resets += 1;
+                self.workers[w].stream = self.gpu.create_stream();
+                self.metrics.streams_created += 1;
+                failed.push((batch, err));
+            } else {
+                match self.readback(w, &batch) {
+                    Ok(outputs) => {
+                        for (job, out) in batch.jobs.into_iter().zip(outputs) {
+                            self.metrics.completed += 1;
+                            self.finish(job.spec.id, job.spec.tenant, JobOutcome::Done(out));
+                        }
+                    }
+                    Err(e) => failed.push((batch, e)),
+                }
+            }
+        }
+        for (batch, err) in failed {
+            self.batch_failed(batch, err);
+        }
+        Ok(())
+    }
+
+    /// Drive rounds until no queued or parked work remains (or the round
+    /// cap trips, in which case leftovers fail loudly rather than hang).
+    pub fn run_until_idle(&mut self, max_rounds: u64) -> Result<(), ServiceDead> {
+        let mut rounds = 0u64;
+        while !self.queue.is_empty() || !self.parked.is_empty() {
+            rounds += 1;
+            if rounds > max_rounds {
+                for batch in std::mem::take(&mut self.parked) {
+                    for job in batch.jobs {
+                        self.metrics.failed += 1;
+                        self.finish(
+                            job.spec.id,
+                            job.spec.tenant,
+                            JobOutcome::Failed("round cap reached with work pending".into()),
+                        );
+                    }
+                }
+                while !self.queue.is_empty() {
+                    for job in self.queue.take_batch(usize::MAX) {
+                        self.metrics.failed += 1;
+                        self.finish(
+                            job.spec.id,
+                            job.spec.tenant,
+                            JobOutcome::Failed("round cap reached with work pending".into()),
+                        );
+                    }
+                }
+                break;
+            }
+            self.run_round()?;
+        }
+        Ok(())
+    }
+
+    /// Drain all recorded outcomes, ordered by [`JobId`].
+    pub fn take_outcomes(&mut self) -> Vec<(JobId, JobOutcome)> {
+        std::mem::take(&mut self.outcomes).into_iter().collect()
+    }
+
+    /// The outcome of `id`, if it has terminated.
+    pub fn outcome(&self, id: JobId) -> Option<&JobOutcome> {
+        self.outcomes.get(&id)
+    }
+
+    /// Current counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics
+    }
+
+    /// Jobs admitted but not yet terminated (queued, parked, or running).
+    pub fn backlog(&self) -> usize {
+        self.queue.len() + self.parked.iter().map(|b| b.jobs.len()).sum::<usize>()
+    }
+
+    /// Device statistics (for soak assertions and dashboards).
+    pub fn stats(&self) -> ggpu_sim::RunStats {
+        self.gpu.stats()
+    }
+
+    /// Per-grid records from the underlying device (stream-stamped).
+    pub fn kernel_records(&self) -> &[ggpu_sim::KernelRecord] {
+        self.gpu.kernel_records()
+    }
+
+    /// Record a terminal outcome exactly once and release quota.
+    fn finish(&mut self, id: JobId, tenant: Tenant, outcome: JobOutcome) {
+        if let Some(n) = self.inflight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+        let prev = self.outcomes.insert(id, outcome);
+        debug_assert!(prev.is_none(), "outcome recorded twice for {id}");
+    }
+
+    /// Capped exponential backoff, in rounds.
+    fn backoff(&self, attempts: u32) -> u64 {
+        let shift = attempts.saturating_sub(1).min(32);
+        self.cfg
+            .backoff_cap
+            .min(self.cfg.backoff_base.saturating_mul(1u64 << shift))
+            .max(1)
+    }
+
+    /// Failure policy. Deadline overruns skip the retry ladder (the
+    /// simulator is deterministic — the same batch would overrun again)
+    /// and go straight to splitting; other errors retry with capped
+    /// exponential backoff. When retries are spent the batch splits in
+    /// half (partial results: the healthy half completes; a poisoned
+    /// singleton converges to a terminal outcome). Splitting is skipped
+    /// while the queue is saturated — amplifying load under overload
+    /// would trade latency for collapse.
+    fn batch_failed(&mut self, mut batch: Batch, err: SimError) {
+        let deadline = matches!(err, SimError::DeadlineExceeded { .. });
+        batch.attempts += 1;
+        if !deadline && batch.attempts < self.cfg.max_attempts.max(1) {
+            self.metrics.retries += 1;
+            batch.not_before = self.round + self.backoff(batch.attempts);
+            self.parked.push(batch);
+            return;
+        }
+        if batch.jobs.len() > 1 && self.queue.len() < self.cfg.queue_capacity {
+            self.metrics.splits += 1;
+            let right = batch.jobs.split_off(batch.jobs.len() / 2);
+            for half in [batch.jobs, right] {
+                let mut b = Batch::new(half);
+                b.not_before = self.round + 1;
+                self.parked.push(b);
+            }
+            return;
+        }
+        for job in batch.jobs {
+            let outcome = if deadline {
+                self.metrics.deadline_exceeded += 1;
+                JobOutcome::DeadlineExceeded
+            } else {
+                self.metrics.failed += 1;
+                JobOutcome::Failed(err.to_string())
+            };
+            self.finish(job.spec.id, job.spec.tenant, outcome);
+        }
+    }
+
+    /// Upload a batch into worker `w`'s slabs and launch its fused grid
+    /// on the worker's stream. Any error leaves the device clean — the
+    /// grid was not enqueued.
+    fn upload_and_launch(&mut self, w: usize, batch: &Batch) -> Result<(), SimError> {
+        let n = batch.jobs.len() as u64;
+        let worker = &self.workers[w];
+        let (stream, in_a, in_b, in_c, out) = (
+            worker.stream,
+            worker.in_a,
+            worker.in_b,
+            worker.in_c,
+            worker.out,
+        );
+        let opts = LaunchOptions {
+            stream,
+            deadline: batch.cycle_budget(self.cfg.default_deadline),
+        };
+        match batch.shape {
+            ShapeKey::Pairwise { bucket } => {
+                let pipe = self
+                    .dp
+                    .iter()
+                    .find(|p| p.bucket == bucket)
+                    .expect("bucket compiled at build");
+                let (kernel, tpc) = (pipe.kernel, pipe.tpc);
+                let (q, t, lens) = batch::encode_pairwise(&batch.jobs, bucket);
+                self.gpu.try_memcpy_h2d(in_a, &q)?;
+                self.gpu.try_memcpy_h2d(in_b, &t)?;
+                self.gpu.try_memcpy_h2d(in_c, &lens)?;
+                let dims = Self::dims_for(n, tpc);
+                self.gpu.try_launch_on(
+                    kernel,
+                    dims,
+                    &[
+                        in_a.0,
+                        in_b.0,
+                        out.0,
+                        n,
+                        0,
+                        dims.total_threads(),
+                        in_c.0,
+                        0,
+                        0,
+                    ],
+                    opts,
+                )?;
+            }
+            ShapeKey::Fm => {
+                let pipe = self.fm.as_ref().expect("FM shape admitted without pipe");
+                let (kernel, occ, sa, text, read_len) =
+                    (pipe.kernel, pipe.occ, pipe.sa, pipe.text, pipe.read_len);
+                let reads = batch::encode_fm(&batch.jobs);
+                self.gpu.try_memcpy_h2d(in_a, &reads)?;
+                // The kernel writes `out` only for mappable reads; zero
+                // the slab so unmapped lanes read as "no hit" rather than
+                // the previous batch's results.
+                self.gpu.try_memcpy_h2d(out, &vec![0u8; (n * 8) as usize])?;
+                let dims = Self::dims_for(n, 32);
+                self.gpu.try_launch_on(
+                    kernel,
+                    dims,
+                    &[
+                        in_a.0,
+                        occ.0,
+                        out.0,
+                        n,
+                        0,
+                        dims.total_threads(),
+                        sa.0,
+                        text.0,
+                        read_len as u64,
+                        0,
+                    ],
+                    opts,
+                )?;
+            }
+            ShapeKey::PairHmm => {
+                let pipe = self
+                    .ph
+                    .as_ref()
+                    .expect("PairHMM shape admitted without pipe");
+                let (kernel, tpc) = (pipe.kernel, pipe.tpc);
+                let (reads, quals, haps) = batch::encode_pairhmm(&batch.jobs);
+                self.gpu.try_memcpy_h2d(in_a, &reads)?;
+                self.gpu.try_memcpy_h2d(in_b, &quals)?;
+                self.gpu.try_memcpy_h2d(in_c, &haps)?;
+                let dims = Self::dims_for(n, tpc);
+                self.gpu.try_launch_on(
+                    kernel,
+                    dims,
+                    &[
+                        in_a.0,
+                        in_c.0,
+                        out.0,
+                        n,
+                        0,
+                        dims.total_threads(),
+                        in_b.0,
+                        0,
+                        0,
+                    ],
+                    opts,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Launch shape for an `n`-job batch: enough CTAs to spread work, a
+    /// grid-stride loop covers the rest.
+    fn dims_for(n: u64, tpc: u32) -> LaunchDims {
+        let ctas = n.div_ceil(tpc as u64).clamp(1, 4) as u32;
+        LaunchDims::linear(ctas, tpc)
+    }
+
+    /// Copy a finished batch's results home and decode them. A dropped
+    /// D2H transfer is retried once (the drop is per-transfer, not
+    /// sticky) before counting as a batch failure.
+    fn readback(&mut self, w: usize, batch: &Batch) -> Result<Vec<crate::JobOutput>, SimError> {
+        let out = self.workers[w].out;
+        let bytes = batch.jobs.len() * 8;
+        let raw = match self.gpu.try_memcpy_d2h(out, bytes) {
+            Ok(raw) => raw,
+            Err(SimError::MemcpyDropped { .. }) => self.gpu.try_memcpy_d2h(out, bytes)?,
+            Err(e) => return Err(e),
+        };
+        Ok(batch::decode(batch.shape, &raw))
+    }
+}

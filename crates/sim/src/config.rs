@@ -40,6 +40,16 @@ pub struct FaultPlan {
     /// From this cycle on, report the CDP pending-launch queue as full, so
     /// the next device-side launch faults with a queue overflow.
     pub cdp_full_at: Option<u64>,
+    /// Drop the Nth (0-based) PCIe transfer: the `try_memcpy_*` call
+    /// returns [`crate::SimError::MemcpyDropped`] without moving any data.
+    /// H2D and D2H transfers share one counter, in call order. Not sticky —
+    /// the caller can simply retry (exercises host-side retry logic).
+    pub drop_memcpy: Option<u64>,
+    /// Corrupt the Nth (0-based) PCIe transfer: the call succeeds but every
+    /// payload byte is XORed with `0xA5` (H2D corrupts what lands in device
+    /// memory, D2H corrupts what the host reads back). Shares the transfer
+    /// counter with [`FaultPlan::drop_memcpy`].
+    pub poison_memcpy: Option<u64>,
 }
 
 /// Full GPU configuration.
@@ -118,6 +128,24 @@ pub struct GpuConfig {
     /// cycles whose outcome is already determined), so it defaults to on;
     /// the switch exists for A/B validation and engine debugging.
     pub fast_forward: bool,
+    /// Stream-isolation mode: enforce *canonical kernel boundaries* so a
+    /// grid's timing and counters depend only on the device configuration
+    /// and the grid itself, never on what ran before it on other streams.
+    /// Concretely: (a) a finished host grid retires only once every
+    /// in-flight effect (network packets, DRAM requests, SM outstanding
+    /// loads) has drained; (b) at each host-grid arm the SM scheduler
+    /// cursors and the CTA dispatch cursor reset, and (with
+    /// [`GpuConfig::flush_between_kernels`]) DRAM open rows close alongside
+    /// the cache flush. Off by default — the legacy engine retires grids
+    /// the cycle their last CTA completes, which is faster but lets row
+    /// state and cursor positions leak across kernels. `ggpu-serve` turns
+    /// this on: it is what makes a non-faulted stream's results bit-equal
+    /// to a fault-free run even when sibling streams fault and retry.
+    pub stream_isolation: bool,
+    /// Keep a per-kernel [`crate::KernelRecord`] for every retired grid
+    /// even when tracing, sampling, and attribution are all off. Serving
+    /// harnesses use the records as their per-batch accounting ledger.
+    pub kernel_records: bool,
 }
 
 impl Default for GpuConfig {
@@ -157,6 +185,8 @@ impl GpuConfig {
             trace_cache_fills: false,
             sim_threads: sim_threads_from_env(),
             fast_forward: true,
+            stream_isolation: false,
+            kernel_records: false,
         }
     }
 
@@ -202,6 +232,20 @@ impl GpuConfig {
     /// the engine to tick every cycle (A/B validation and debugging).
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Enable or disable stream-isolation mode (canonical kernel
+    /// boundaries); see [`GpuConfig::stream_isolation`].
+    pub fn with_stream_isolation(mut self, on: bool) -> Self {
+        self.stream_isolation = on;
+        self
+    }
+
+    /// Keep per-kernel records regardless of other profiling knobs; see
+    /// [`GpuConfig::kernel_records`].
+    pub fn with_kernel_records(mut self, on: bool) -> Self {
+        self.kernel_records = on;
         self
     }
 
@@ -263,6 +307,16 @@ mod tests {
         assert_eq!(c.cdp_max_depth, 24);
         assert_eq!(c.fault_plan, FaultPlan::default());
         assert!(c.fault_plan.poison.is_none());
+        assert!(c.fault_plan.drop_memcpy.is_none());
+        assert!(c.fault_plan.poison_memcpy.is_none());
+        assert!(!c.stream_isolation, "legacy boundaries by default");
+        assert!(!c.kernel_records);
+        assert!(c.with_stream_isolation(true).stream_isolation);
+        assert!(
+            GpuConfig::rtx3070()
+                .with_kernel_records(true)
+                .kernel_records
+        );
     }
 
     #[test]

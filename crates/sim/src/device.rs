@@ -21,6 +21,8 @@ mod launch;
 mod memcpy;
 mod parallel;
 
+pub use self::launch::LaunchOptions;
+
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -42,6 +44,36 @@ use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
 use self::engine::{DramTarget, Ev};
 use self::launch::Grid;
 use self::parallel::{LaneSet, SmLane};
+
+/// Identifier of a host-side stream. Stream 0 is the default stream every
+/// [`Gpu::launch`] targets; additional streams come from
+/// [`Gpu::create_stream`]. Grids on different streams still execute one at
+/// a time (the device arbitrates round-robin between stream queues), but
+/// faults are scoped: a guest fault, deadlock, or deadline overrun poisons
+/// only the owning stream, and [`Gpu::reset_stream`] recovers it while
+/// other streams' results stay bit-identical to a fault-free run (under
+/// [`GpuConfig::stream_isolation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub usize);
+
+impl StreamId {
+    /// The default stream (CUDA's stream 0).
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream {}", self.0)
+    }
+}
+
+/// Per-stream host state: the FIFO of queued grid handles and the stream's
+/// sticky fault, if any.
+#[derive(Debug, Default)]
+struct StreamState {
+    queue: VecDeque<u64>,
+    fault: Option<SimError>,
+}
 
 /// Where trace events go. [`SinkSlot::Off`] keeps the disabled path at a
 /// single branch per emission site.
@@ -79,7 +111,16 @@ pub struct Gpu {
     cycle: u64,
     /// In-flight network packets, popped in (time, insertion) order.
     events: DeliveryQueue<Ev>,
-    host_queue: VecDeque<u64>,
+    /// Host streams; index 0 is the default stream (the legacy host queue).
+    streams: Vec<StreamState>,
+    /// Stream whose head grid currently owns the device (armed or running),
+    /// `None` between host grids.
+    active_stream: Option<usize>,
+    /// Round-robin arbitration cursor over `streams`.
+    stream_cursor: usize,
+    /// Finished host grid awaiting canonical-idle retirement
+    /// ([`GpuConfig::stream_isolation`] two-phase drain); `None` otherwise.
+    draining: Option<u64>,
     device_queue: VecDeque<u64>,
     grids: HashMap<u64, Grid>,
     next_grid: u64,
@@ -104,6 +145,13 @@ pub struct Gpu {
     fast_forward_skipped_cycles: u64,
     /// Replies sent so far, for deterministic drop-the-Nth injection.
     replies_sent: u64,
+    /// PCIe transfers so far (H2D + D2H), for deterministic drop/poison
+    /// injection on the memcpy path.
+    memcpys_done: u64,
+    /// Fault raised during the current cycle's merge (trap or CDP-limit
+    /// violation), resolved against the owning stream at the end of
+    /// `cycle_post`.
+    pending_fault: Option<SimError>,
     /// Where trace events go ([`SinkSlot::Off`] unless tracing is on).
     sink: SinkSlot,
     /// Per-kernel records, in retire order (collected while profiling is
@@ -149,7 +197,10 @@ impl Gpu {
             icnt_rep,
             cycle: 0,
             events: DeliveryQueue::new(),
-            host_queue: VecDeque::new(),
+            streams: vec![StreamState::default()],
+            active_stream: None,
+            stream_cursor: 0,
+            draining: None,
             device_queue: VecDeque::new(),
             grids: HashMap::new(),
             next_grid: 1,
@@ -164,6 +215,8 @@ impl Gpu {
             last_progress: 0,
             fast_forward_skipped_cycles: 0,
             replies_sent: 0,
+            memcpys_done: 0,
+            pending_fault: None,
             sink: if config.trace {
                 SinkSlot::Buffer(TraceBuffer::new(config.trace_capacity))
             } else {
@@ -211,7 +264,9 @@ impl Gpu {
         &mut self.mem
     }
 
-    /// The sticky fault the device is currently in, if any.
+    /// The sticky fault the device is currently in, if any. This is the
+    /// *device-wide* fault (default-stream semantics); per-stream faults
+    /// are reported by [`Gpu::stream_fault`].
     pub fn fault(&self) -> Option<&SimError> {
         self.fault.as_ref()
     }
@@ -219,8 +274,63 @@ impl Gpu {
     /// Clear the sticky fault state and return it. The device was already
     /// halted and drained when the fault was raised, so it is immediately
     /// ready for new launches (memory contents and statistics survive).
+    ///
+    /// Besides taking the fault, this scrubs recovery-relevant residue the
+    /// halt could not know about: the default stream's own fault marker,
+    /// CDP pending-launch entries whose grids are gone (drained but never
+    /// retired), the watchdog's progress marker (so the next launch starts
+    /// its stall count from zero instead of inheriting the hang's), and —
+    /// when profiling — the record-delta base (so the next kernel record
+    /// does not absorb the killed span's counters).
     pub fn reset_fault(&mut self) -> Option<SimError> {
-        self.fault.take()
+        let err = self.fault.take();
+        self.streams[0].fault = None;
+        self.device_queue
+            .retain(|h| self.grids.contains_key(h) && !self.grids[h].finished());
+        self.last_progress = self.cycle;
+        if self.profiling_enabled() {
+            self.record_base = self.stats();
+        }
+        err
+    }
+
+    // ---- streams ----------------------------------------------------------
+
+    /// Create a new host stream and return its id. Streams are never
+    /// destroyed; a faulted stream is recycled with [`Gpu::reset_stream`].
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(StreamState::default());
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Number of streams (including the default stream 0).
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The sticky fault `stream` is in, if any. A faulted stream rejects
+    /// new launches and holds no in-flight work (its grids were killed when
+    /// the fault was raised); other streams keep running.
+    pub fn stream_fault(&self, stream: StreamId) -> Option<&SimError> {
+        self.streams.get(stream.0).and_then(|s| s.fault.as_ref())
+    }
+
+    /// Grids queued (not yet retired) on `stream`.
+    pub fn stream_pending(&self, stream: StreamId) -> usize {
+        self.streams.get(stream.0).map_or(0, |s| s.queue.len())
+    }
+
+    /// Clear `stream`'s sticky fault and return it, restoring the stream to
+    /// a usable state. The stream's in-flight work was already killed when
+    /// the fault was raised; queued grids that never started were dropped
+    /// with it. Resetting stream 0 also clears the device-wide fault (they
+    /// are the same fault — the default stream keeps CUDA's device-sticky
+    /// semantics).
+    pub fn reset_stream(&mut self, stream: StreamId) -> Option<SimError> {
+        if stream.0 == 0 {
+            return self.reset_fault();
+        }
+        self.streams.get_mut(stream.0).and_then(|s| s.fault.take())
     }
 
     // ---- statistics -------------------------------------------------------
@@ -287,12 +397,17 @@ impl Gpu {
     // ---- profiling --------------------------------------------------------
 
     /// Whether the profiling layer is collecting anything: a trace sink is
-    /// installed, interval sampling is on, and/or per-PC attribution is
-    /// on. Per-kernel records are collected exactly while this is true.
-    /// Profiling never changes simulated timing or [`Gpu::stats`] — with
-    /// everything disabled the per-cycle cost is a single branch.
+    /// installed, interval sampling is on, per-PC attribution is on, and/or
+    /// standalone kernel records are requested
+    /// ([`GpuConfig::kernel_records`]). Per-kernel records are collected
+    /// exactly while this is true. Profiling never changes simulated timing
+    /// or [`Gpu::stats`] — with everything disabled the per-cycle cost is a
+    /// single branch.
     pub fn profiling_enabled(&self) -> bool {
-        self.trace_on() || self.sampler.is_some() || self.config.sm.attribution
+        self.trace_on()
+            || self.sampler.is_some()
+            || self.config.sm.attribution
+            || self.config.kernel_records
     }
 
     /// Install a custom trace sink (replacing the built-in buffer if

@@ -155,7 +155,10 @@ impl Gpu {
     }
 
     /// Post-cycle fault/watchdog check shared by the serial and parallel
-    /// loops. `Some(Err(..))` ends the run; `None` continues it.
+    /// loops. `Some(Err(..))` ends the run; `None` continues it — including
+    /// after a *non-default* stream was killed for a deadline overrun or a
+    /// watchdog hang, in which case the remaining streams keep running and
+    /// the fault is reported through [`Gpu::stream_fault`].
     pub(super) fn sync_check(
         &mut self,
         start: u64,
@@ -164,17 +167,43 @@ impl Gpu {
         if let Some(f) = self.fault.clone() {
             return Some(Err(f));
         }
+        // Deadline: the active grid overran its cycle budget (counted from
+        // arm). Enforced here, on the watchdog's schedule, so a hung *and*
+        // budgeted grid is killed by whichever trips first.
+        if let Some(h) = self.active_grid_handle() {
+            let expired = self
+                .grids
+                .get(&h)
+                .and_then(|g| g.deadline_at)
+                .is_some_and(|dl| self.cycle >= dl);
+            if expired {
+                let g = &self.grids[&h];
+                let err = SimError::DeadlineExceeded {
+                    kernel: self.kernel_name(g.kernel),
+                    stream: g.stream,
+                    budget: g.deadline_budget.unwrap_or(0),
+                    cycle: self.cycle,
+                };
+                self.kill_active_stream(err, lanes);
+                if let Some(f) = self.fault.clone() {
+                    return Some(Err(f));
+                }
+                return None;
+            }
+        }
         let stalled = self.cycle - self.last_progress;
         if stalled >= self.config.watchdog_cycles || self.cycle - start >= MAX_SYNC_CYCLES {
             let err = SimError::Deadlock(Box::new(self.deadlock_report_with(stalled, lanes)));
-            self.fault = Some(err.clone());
             if self.trace_on() {
                 self.emit(TraceEventKind::Deadlock {
                     stalled_for: stalled,
                 });
             }
-            self.halt_device_with(lanes);
-            return Some(Err(err));
+            self.kill_active_stream(err.clone(), lanes);
+            if self.fault.is_some() {
+                return Some(Err(err));
+            }
+            return None;
         }
         None
     }
@@ -224,14 +253,33 @@ impl Gpu {
         // 2. DRAM channels.
         self.dram_tick();
 
-        // 3. CTA dispatch (children first, then the head host grid).
+        // 3. CTA dispatch (children first, then the active host grid).
         self.arm_and_dispatch(lanes);
 
-        let device_busy = self
-            .grids
-            .values()
-            .any(|g| !g.fully_dispatched() || g.armed_at.map(|t| now < t).unwrap_or(true));
-        (now, device_busy)
+        (now, self.device_busy_at(now))
+    }
+
+    /// Whether, from an idle SM's perspective, the device is mid-kernel at
+    /// `now` — drives the `FunctionalDone` stall classification.
+    ///
+    /// Legacy mode counts every grid in the map (queued host grids
+    /// included). Under [`crate::GpuConfig::stream_isolation`] only grids
+    /// inside their execution window count — a queued host grid on an
+    /// inactive stream is *outside* any window, and a retiring grid's drain
+    /// tail is *inside* it — so the classification a grid observes never
+    /// depends on what sits queued behind it on other streams.
+    pub(super) fn device_busy_at(&self, now: u64) -> bool {
+        if self.config.stream_isolation {
+            self.draining.is_some()
+                || self.grids.values().any(|g| match g.armed_at {
+                    None => !g.from_host,
+                    Some(t) => now < t || !g.fully_dispatched(),
+                })
+        } else {
+            self.grids
+                .values()
+                .any(|g| !g.fully_dispatched() || g.armed_at.map(|t| now < t).unwrap_or(true))
+        }
     }
 
     /// Serial post-SM phase: drain every lane's output in SM-index order
@@ -256,7 +304,13 @@ impl Gpu {
                 if let Some(g) = self.grids.get_mut(&c.grid_handle) {
                     g.done_ctas += 1;
                     if g.finished() {
-                        self.grid_done(c.grid_handle, lanes);
+                        if g.from_host && self.config.stream_isolation {
+                            // Canonical boundary: hold the grid until its
+                            // in-flight effects drain (finalized below).
+                            self.draining = Some(c.grid_handle);
+                        } else {
+                            self.grid_done(c.grid_handle, lanes);
+                        }
                     }
                 }
             }
@@ -270,12 +324,15 @@ impl Gpu {
             lanes.get_mut(sm).ports.out = out;
         }
 
-        // 5. Fault resolution: the first trap of the cycle (or a CDP-limit
-        // fault raised in `spawn_child`) puts the device into the sticky
-        // fault state and halts it.
-        if self.fault.is_none() {
+        // 5. Fault resolution: a CDP-limit fault raised in `spawn_child`
+        // (taking precedence, as before) or the first trap of the cycle
+        // kills the owning stream's in-flight work. On the default stream
+        // this is the legacy device-wide sticky fault; on other streams
+        // the device keeps serving its siblings.
+        let mut raised = self.pending_fault.take();
+        if raised.is_none() {
             if let Some((sm, t)) = first_trap {
-                self.fault = Some(self.fault_from_trap(sm, &t));
+                raised = Some(self.fault_from_trap(sm, &t));
                 if self.trace_on() {
                     self.emit(TraceEventKind::Fault {
                         kind: t.kind,
@@ -284,9 +341,25 @@ impl Gpu {
                 }
             }
         }
-        if self.fault.is_some() {
-            self.halt_device_with(lanes);
+        if let Some(err) = raised {
+            self.kill_active_stream(err, lanes);
             return;
+        }
+
+        // 5b. Canonical host-grid retirement (stream isolation): finalize
+        // the held grid only once every in-flight effect has drained, so
+        // the next grid starts from a translation-invariant device state.
+        if let Some(h) = self.draining {
+            let drained = self.events.is_empty()
+                && self.dram.iter().all(|d| d.is_idle())
+                && lanes.cores().all(|c| !c.has_outstanding());
+            if drained {
+                self.draining = None;
+                for d in &mut self.dram {
+                    d.close_rows();
+                }
+                self.grid_done(h, lanes);
+            }
         }
 
         // 6. Forward-progress watchdog bookkeeping. Progress means: an
@@ -442,6 +515,7 @@ impl Gpu {
         SimError::DeviceFault(Box::new(DeviceFault {
             kind: t.kind,
             kernel,
+            stream: self.active_stream.unwrap_or(0),
             sm,
             cta: Some(t.cta_linear),
             warp: Some(t.warp),
@@ -454,18 +528,28 @@ impl Gpu {
         }))
     }
 
-    /// Halt the device after a fault: abort resident work on every SM, drop
-    /// queued grids and in-flight packets, and drain the DRAM channels so
-    /// the device returns to a clean idle state. Memory contents, cache
-    /// tags, and statistics survive.
-    fn halt_device_with(&mut self, lanes: &mut LaneSet<'_>) {
+    /// Kill the active stream after a fault, deadline overrun, or watchdog
+    /// hang: mark the stream faulted (mirrored into the device-wide sticky
+    /// fault when it is the default stream), abort resident work on every
+    /// SM, drop the stream's grids (in-flight and queued alike) and all
+    /// in-flight packets, and drain the DRAM channels so the device returns
+    /// to a clean idle state. Other streams' *queued* grids have not
+    /// started and survive untouched; memory contents, cache tags, and
+    /// statistics survive too.
+    pub(super) fn kill_active_stream(&mut self, err: SimError, lanes: &mut LaneSet<'_>) {
+        let s = self.active_stream.unwrap_or(0);
+        self.streams[s].fault = Some(err.clone());
+        if s == 0 {
+            // The default stream keeps CUDA's device-wide sticky semantics.
+            self.fault = Some(err);
+        }
         for lane in lanes.iter_mut() {
             lane.core.abort_workload();
         }
         self.events.clear();
-        self.host_queue.clear();
         self.device_queue.clear();
-        self.grids.clear();
+        self.grids.retain(|_, g| g.stream != s);
+        self.streams[s].queue.clear();
         self.l2_waiters.clear();
         self.dram_inflight.clear();
         for d in &mut self.dram {
@@ -482,10 +566,31 @@ impl Gpu {
                 let _ = d.tick(t);
             }
         }
+        if self.config.stream_isolation {
+            // The kill is a canonical boundary like any other: survivors
+            // resume from the same device state a fault-free run reaches.
+            for d in &mut self.dram {
+                d.close_rows();
+            }
+        }
+        self.active_stream = None;
+        self.draining = None;
+        // Forward progress restarts now. Without this bump a recovered
+        // device would inherit the dead stream's stall count and the
+        // watchdog could spuriously re-fire on the next grid's first
+        // cycles (the stale-progress recovery bug).
+        self.last_progress = self.cycle;
+        // Scope the killed span out of the next kernel record's delta (the
+        // off-clock DRAM drain above included), mirroring a retire
+        // boundary; otherwise the first record after recovery absorbs the
+        // dead stream's counters.
+        if self.profiling_enabled() {
+            self.record_base = self.stats_over(lanes.cores());
+        }
     }
 
     /// Snapshot everything a deadlock post-mortem needs. Must run *before*
-    /// [`Gpu::halt_device_with`] wipes the state it describes.
+    /// [`Gpu::kill_active_stream`] wipes the state it describes.
     fn deadlock_report_with(&self, stalled_for: u64, lanes: &LaneSet<'_>) -> DeadlockReport {
         let mut warps: Vec<WarpReport> = Vec::new();
         for (i, sm) in lanes.cores().enumerate() {
@@ -498,8 +603,9 @@ impl Gpu {
         DeadlockReport {
             cycle: self.cycle,
             stalled_for,
+            stream: self.active_stream.unwrap_or(0),
             warps,
-            host_queue: self.host_queue.len(),
+            host_queue: self.streams.iter().map(|s| s.queue.len()).sum(),
             device_queue: self.device_queue.len(),
             events_in_flight: self.events.len(),
             outstanding_requests: lanes.cores().map(|s| s.outstanding_requests()).sum(),

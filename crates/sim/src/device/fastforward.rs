@@ -34,12 +34,16 @@
 //!   earliest possible issue (`bus_free_at` with a non-empty queue) or
 //!   completion; a non-empty overflow queue replays every cycle and
 //!   returns `c0`, vetoing the skip.
-//! * **Dispatcher** — an unarmed host-queue head arms next cycle (state
-//!   change), so it vetoes; a grid armed in the future bounds `T` by its
-//!   arm cycle; an armed, partially-dispatched grid vetoes only if some SM
-//!   could actually accept a CTA ([`ggpu_sm::SmCore::can_accept`]) —
-//!   otherwise the sweep fails on every SM each cycle, whose only effect
-//!   is advancing the round-robin cursor by exactly `n_sms` (invisible
+//! * **Dispatcher** — pending stream arbitration (a healthy stream with
+//!   queued work and no active host grid) or an unarmed selected head arms
+//!   next cycle (state change), so both veto, as does an open drain window
+//!   (its finalisation is a cycle_post decision); a grid armed in the
+//!   future bounds `T` by its arm cycle, and a cycle budget bounds `T` by
+//!   its expiry so the kill lands on the per-cycle engine's exact cycle;
+//!   an armed, partially-dispatched grid vetoes only if some SM could
+//!   actually accept a CTA ([`ggpu_sm::SmCore::can_accept`]) — otherwise
+//!   the sweep fails on every SM each cycle, whose only effect is
+//!   advancing the round-robin cursor by exactly `n_sms` (invisible
 //!   modulo `n_sms`).
 //! * **Sampler** — interval windows close at absolute multiples of the
 //!   period, so the next boundary bounds `T`; the boundary cycle itself is
@@ -118,10 +122,32 @@ impl Gpu {
             t = t.min(next);
         }
 
-        // Dispatcher: an unarmed host head arms next cycle.
-        if let Some(head) = self.host_queue.front() {
-            if self.grids.get(head).is_some_and(|g| g.armed_at.is_none()) {
-                return;
+        // Dispatcher. A retiring grid in its drain window finalises the
+        // moment its residual traffic lands — a cycle_post decision the
+        // span cannot reproduce — so drains veto outright (they are short:
+        // the traffic is already in flight).
+        if self.draining.is_some() {
+            return;
+        }
+        // Stream arbitration picks (and arms) a new host grid next cycle
+        // whenever the device is free and any healthy stream has queued
+        // work; an already-selected head that has not armed yet does the
+        // same. Both are state changes, so both veto.
+        match self.active_stream {
+            None => {
+                if self
+                    .streams
+                    .iter()
+                    .any(|s| s.fault.is_none() && !s.queue.is_empty())
+                {
+                    return;
+                }
+            }
+            Some(s) => {
+                let head = self.streams[s].queue.front();
+                if head.is_some_and(|h| self.grids.get(h).is_some_and(|g| g.armed_at.is_none())) {
+                    return;
+                }
             }
         }
         for g in self.grids.values() {
@@ -134,6 +160,11 @@ impl Gpu {
                     }
                 }
                 _ => {}
+            }
+            // A cycle budget must expire on the exact cycle the per-cycle
+            // engine would kill it on (the stamp lands in the error).
+            if let Some(dl) = g.deadline_at {
+                t = t.min(dl);
             }
         }
 
@@ -156,10 +187,7 @@ impl Gpu {
                 .grids
                 .values()
                 .any(|g| g.armed_at.is_some_and(|a| a > c0));
-        let device_busy = self
-            .grids
-            .values()
-            .any(|g| !g.fully_dispatched() || g.armed_at.map(|a| c0 < a).unwrap_or(true));
+        let device_busy = self.device_busy_at(c0);
 
         for lane in lanes.iter_mut() {
             lane.core.skip_cycles(c0, device_busy, span);

@@ -12,7 +12,31 @@ use crate::profile::KernelRecord;
 use crate::trace::TraceEventKind;
 
 use super::parallel::LaneSet;
-use super::Gpu;
+use super::{Gpu, StreamId};
+
+/// Per-launch options for [`Gpu::try_launch_on`]: the target stream and an
+/// optional execution deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchOptions {
+    /// Stream to enqueue on (defaults to [`StreamId::DEFAULT`]).
+    pub stream: StreamId,
+    /// Cycle budget counted from when the grid is *armed* (reaches the head
+    /// of its stream and finishes its launch-overhead window), so queueing
+    /// behind other streams does not consume it. When the budget expires
+    /// before the grid retires, the owning stream is killed with
+    /// [`SimError::DeadlineExceeded`] — the watchdog machinery enforces it
+    /// at the same point it checks forward progress.
+    pub deadline: Option<u64>,
+}
+
+impl Default for LaunchOptions {
+    fn default() -> Self {
+        LaunchOptions {
+            stream: StreamId::DEFAULT,
+            deadline: None,
+        }
+    }
+}
 
 #[derive(Debug)]
 pub(super) struct Grid {
@@ -30,6 +54,12 @@ pub(super) struct Grid {
     /// grid reaches the head of its queue.
     pub(super) armed_at: Option<u64>,
     pub(super) from_host: bool,
+    /// Owning stream (0 = default; CDP children inherit the parent's).
+    pub(super) stream: usize,
+    /// Cycle budget from arm ([`LaunchOptions::deadline`]); `None` = none.
+    pub(super) deadline_budget: Option<u64>,
+    /// Absolute kill cycle, set when the grid arms.
+    pub(super) deadline_at: Option<u64>,
     /// CDP nesting depth: 0 for host grids, parent + 1 for children.
     pub(super) depth: u32,
     /// Cycle at which the grid was enqueued.
@@ -112,8 +142,41 @@ impl Gpu {
         dims: LaunchDims,
         params: &[u64],
     ) -> Result<u64, SimError> {
+        self.try_launch_on(kernel, dims, params, LaunchOptions::default())
+    }
+
+    /// Enqueue a grid on an explicit stream, optionally with a cycle-budget
+    /// deadline (see [`LaunchOptions`]). Grids on one stream serialize in
+    /// FIFO order; the device arbitrates round-robin between streams, one
+    /// grid at a time. A device-wide sticky fault (default-stream
+    /// semantics) rejects every launch; a *stream* fault rejects only
+    /// launches onto that stream until [`Gpu::reset_stream`].
+    pub fn try_launch_on(
+        &mut self,
+        kernel: KernelId,
+        dims: LaunchDims,
+        params: &[u64],
+        opts: LaunchOptions,
+    ) -> Result<u64, SimError> {
         if let Some(f) = self.fault.clone() {
             return Err(f);
+        }
+        let stream = opts.stream.0;
+        match self.streams.get(stream) {
+            None => {
+                return Err(SimError::InvalidLaunch {
+                    kernel: self.kernel_name(kernel),
+                    problem: LaunchProblem::UnknownStream {
+                        requested: stream,
+                        streams: self.streams.len(),
+                    },
+                })
+            }
+            Some(s) => {
+                if let Some(f) = s.fault.clone() {
+                    return Err(f);
+                }
+            }
         }
         self.validate_launch(kernel, dims, params)?;
         let program = Arc::clone(&self.program);
@@ -140,12 +203,15 @@ impl Gpu {
                 parent: None,
                 armed_at: None,
                 from_host: true,
+                stream,
+                deadline_budget: opts.deadline,
+                deadline_at: None,
                 depth: 0,
                 launch_cycle: self.cycle,
                 start_cycle: None,
             },
         );
-        self.host_queue.push_back(handle);
+        self.streams[stream].queue.push_back(handle);
         self.host.kernel_launches += 1;
         if self.trace_on() {
             self.emit(TraceEventKind::KernelLaunch {
@@ -210,27 +276,64 @@ impl Gpu {
                 .unwrap_or(false)
         });
 
-        // Host grids serialize on the default stream: only the head runs.
-        if let Some(&head) = self.host_queue.front() {
+        // Host grids: one grid owns the device at a time. With a single
+        // stream this degenerates to the legacy behaviour (the head of the
+        // default stream runs); with several, the device round-robins
+        // between non-faulted streams with queued work, switching only at
+        // grid boundaries. Nothing activates while a finished grid is still
+        // draining (stream-isolation two-phase retirement).
+        if self.active_stream.is_none() && self.draining.is_none() {
+            let n = self.streams.len();
+            for i in 0..n {
+                let s = (self.stream_cursor + i) % n;
+                if self.streams[s].fault.is_none() && !self.streams[s].queue.is_empty() {
+                    self.active_stream = Some(s);
+                    self.stream_cursor = (s + 1) % n;
+                    break;
+                }
+            }
+        }
+        if let Some(s) = self.active_stream {
+            let head = *self.streams[s].queue.front().expect("active stream head");
             let arm = {
                 let g = self.grids.get_mut(&head).expect("head grid exists");
                 if g.armed_at.is_none() {
-                    g.armed_at = Some(self.cycle + self.config.kernel_launch_overhead);
+                    let armed = self.cycle + self.config.kernel_launch_overhead;
+                    g.armed_at = Some(armed);
+                    g.deadline_at = g.deadline_budget.map(|b| armed.saturating_add(b));
                     true
                 } else {
                     false
                 }
             };
-            if arm && self.config.flush_between_kernels {
-                for lane in lanes.iter_mut() {
-                    lane.core.flush_caches();
+            if arm {
+                if self.config.flush_between_kernels {
+                    for lane in lanes.iter_mut() {
+                        lane.core.flush_caches();
+                    }
+                    for l2 in &mut self.l2 {
+                        l2.flush();
+                    }
                 }
-                for l2 in &mut self.l2 {
-                    l2.flush();
+                if self.config.stream_isolation {
+                    // Canonical boundary: scheduler and dispatch cursors
+                    // restart so intra-grid decisions never depend on where
+                    // the previous grid left them.
+                    self.dispatch_cursor = 0;
+                    for lane in lanes.iter_mut() {
+                        lane.core.reset_schedulers();
+                    }
                 }
             }
             self.dispatch_grid(head, lanes);
         }
+    }
+
+    /// The handle of the grid currently owning the device (the active
+    /// stream's head), if any.
+    pub(super) fn active_grid_handle(&self) -> Option<u64> {
+        self.active_stream
+            .and_then(|s| self.streams[s].queue.front().copied())
     }
 
     fn dispatch_grid(&mut self, handle: u64, lanes: &mut LaneSet<'_>) {
@@ -318,10 +421,11 @@ impl Gpu {
         l: ggpu_sm::DeviceLaunch,
         mem: &mut DeviceMemory,
     ) {
-        if self.fault.is_some() {
+        if self.fault.is_some() || self.pending_fault.is_some() {
             return;
         }
         let parent = self.grids.get(&l.parent_grid);
+        let stream = parent.map(|g| g.stream).unwrap_or(0);
         let depth = parent.map(|g| g.depth).unwrap_or(0) + 1;
         let forced_full = self
             .config
@@ -341,9 +445,10 @@ impl Gpu {
                 .and_then(|k| self.program.get(k))
                 .map(|k| k.name.clone())
                 .unwrap_or_else(|| "?".to_string());
-            self.fault = Some(SimError::DeviceFault(Box::new(DeviceFault {
+            self.pending_fault = Some(SimError::DeviceFault(Box::new(DeviceFault {
                 kind,
                 kernel: kernel.clone(),
+                stream,
                 sm: parent_sm,
                 cta: None,
                 warp: None,
@@ -388,6 +493,9 @@ impl Gpu {
                 parent: Some((parent_sm, l.parent_slot, l.parent_grid)),
                 armed_at: Some(self.cycle + self.config.cdp_launch_overhead),
                 from_host: false,
+                stream,
+                deadline_budget: None,
+                deadline_at: None,
                 depth,
                 launch_cycle: self.cycle,
                 start_cycle: None,
@@ -428,6 +536,7 @@ impl Gpu {
                 threads_per_cta: grid.dims.threads_per_cta(),
                 parent: grid.parent.map(|(_, _, p)| p),
                 depth: grid.depth,
+                stream: grid.stream,
                 launch_cycle: grid.launch_cycle,
                 start_cycle: grid.start_cycle.unwrap_or(grid.launch_cycle),
                 retire_cycle: self.cycle,
@@ -450,8 +559,11 @@ impl Gpu {
             }
         }
         if grid.from_host {
-            debug_assert_eq!(self.host_queue.front(), Some(&handle));
-            self.host_queue.pop_front();
+            let s = grid.stream;
+            debug_assert_eq!(self.streams[s].queue.front(), Some(&handle));
+            self.streams[s].queue.pop_front();
+            debug_assert_eq!(self.active_stream, Some(s));
+            self.active_stream = None;
         }
     }
 }

@@ -46,12 +46,34 @@ impl Gpu {
             .unwrap_or_else(|e| panic!("malloc failed: {e}"))
     }
 
+    /// Fault-plan hook shared by both copy directions: counts the
+    /// transfer, and either drops it (a non-sticky, per-call error — the
+    /// device stays usable) or flags its payload for corruption.
+    ///
+    /// Returns `Ok(poison)` where `poison` says whether every payload byte
+    /// must be XORed with `0xA5` (a visible, involutive bit flip).
+    fn memcpy_inject(&mut self, dir: CopyDir) -> Result<bool, SimError> {
+        let index = self.memcpys_done;
+        self.memcpys_done += 1;
+        if self.config.fault_plan.drop_memcpy == Some(index) {
+            return Err(SimError::MemcpyDropped { index, dir });
+        }
+        Ok(self.config.fault_plan.poison_memcpy == Some(index))
+    }
+
     /// Copy host data to the device (one PCI transaction).
     pub fn try_memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> Result<(), SimError> {
         if let Some(f) = self.fault.clone() {
             return Err(f);
         }
-        self.mem.write_slice(dst, data);
+        if self.memcpy_inject(CopyDir::H2D)? {
+            // Corrupt the bytes as they cross the bus: the device-side
+            // image differs from the host buffer.
+            let twisted: Vec<u8> = data.iter().map(|b| b ^ 0xA5).collect();
+            self.mem.write_slice(dst, &twisted);
+        } else {
+            self.mem.write_slice(dst, data);
+        }
         let cost = self.config.pcie.latency
             + (data.len() as f64 / self.config.pcie.bytes_per_cycle) as u64;
         self.host.pci_count += 1;
@@ -82,6 +104,7 @@ impl Gpu {
         if let Some(f) = self.fault.clone() {
             return Err(f);
         }
+        let poison = self.memcpy_inject(CopyDir::D2H)?;
         let cost =
             self.config.pcie.latency + (len as f64 / self.config.pcie.bytes_per_cycle) as u64;
         self.host.pci_count += 1;
@@ -94,7 +117,15 @@ impl Gpu {
                 cycles: cost,
             });
         }
-        Ok(self.mem.read_slice(src, len))
+        let mut out = self.mem.read_slice(src, len);
+        if poison {
+            // Device memory is intact; only the bytes handed back over the
+            // bus are corrupted.
+            for b in &mut out {
+                *b ^= 0xA5;
+            }
+        }
+        Ok(out)
     }
 
     /// Copy device data back to the host (one PCI transaction).

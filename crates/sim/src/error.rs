@@ -13,6 +13,8 @@ use std::fmt;
 use ggpu_isa::FaultKind;
 use ggpu_sm::WarpReport;
 
+use crate::trace::CopyDir;
+
 /// A guest fault raised on the device, with enough context to debug the
 /// offending kernel: which kernel, where (SM / CTA / warp / PC), what
 /// instruction, and — for memory faults — the faulting address.
@@ -25,6 +27,8 @@ pub struct DeviceFault {
     pub kind: FaultKind,
     /// Name of the kernel that faulted.
     pub kernel: String,
+    /// Stream whose in-flight work the fault poisoned (0 = default stream).
+    pub stream: usize,
     /// Device-wide index of the SM the faulting warp was resident on.
     pub sm: usize,
     /// Linear CTA index within the grid, when attributable.
@@ -71,7 +75,7 @@ impl fmt::Display for DeviceFault {
         if let Some(m) = self.lane_mask {
             write!(f, ", lanes 0x{m:08x}")?;
         }
-        f.write_str("]")
+        write!(f, ", stream {}]", self.stream)
     }
 }
 
@@ -84,6 +88,9 @@ impl fmt::Display for DeviceFault {
 pub struct DeadlockReport {
     /// Device cycle at which the watchdog fired.
     pub cycle: u64,
+    /// Stream whose active grid the watchdog attributed the hang to
+    /// (0 = default stream).
+    pub stream: usize,
     /// Consecutive cycles without forward progress.
     pub stalled_for: u64,
     /// Blocked-state of every non-finished resident warp.
@@ -104,8 +111,9 @@ impl fmt::Display for DeadlockReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "device made no forward progress for {} cycles (watchdog fired at cycle {})",
-            self.stalled_for, self.cycle
+            "device made no forward progress for {} cycles \
+             (watchdog fired at cycle {}, stream {})",
+            self.stalled_for, self.cycle, self.stream
         )?;
         writeln!(
             f,
@@ -163,6 +171,13 @@ pub enum LaunchProblem {
         /// Parameter words supplied at launch.
         provided: usize,
     },
+    /// The launch targeted a stream id that was never created.
+    UnknownStream {
+        /// Stream id requested.
+        requested: usize,
+        /// Streams that exist (ids `0..streams`).
+        streams: usize,
+    },
 }
 
 impl fmt::Display for LaunchProblem {
@@ -186,6 +201,12 @@ impl fmt::Display for LaunchProblem {
                 write!(
                     f,
                     "kernel reads {required} parameter word(s) but {provided} supplied"
+                )
+            }
+            LaunchProblem::UnknownStream { requested, streams } => {
+                write!(
+                    f,
+                    "stream {requested} does not exist ({streams} stream(s) created)"
                 )
             }
         }
@@ -216,6 +237,30 @@ pub enum SimError {
         /// Configured capacity.
         limit: u64,
     },
+    /// The active grid exceeded its cycle-budget deadline and its stream's
+    /// in-flight work was killed (the stream stays faulted until
+    /// [`crate::Gpu::reset_stream`]).
+    DeadlineExceeded {
+        /// Name of the kernel whose grid overran.
+        kernel: String,
+        /// Stream the grid was launched on.
+        stream: usize,
+        /// The grid's cycle budget, counted from when it was armed.
+        budget: u64,
+        /// Device cycle at which the deadline fired.
+        cycle: u64,
+    },
+    /// A PCIe transfer was dropped by fault injection
+    /// ([`crate::FaultPlan::drop_memcpy`]). Like a failed `cudaMemcpy`,
+    /// this is *not* sticky: the device stays usable and the transfer can
+    /// simply be retried.
+    MemcpyDropped {
+        /// Zero-based index of the dropped transfer (H2D and D2H share one
+        /// counter).
+        index: u64,
+        /// Transfer direction.
+        dir: CopyDir,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -234,6 +279,22 @@ impl fmt::Display for SimError {
                 f,
                 "out of device memory: {requested} bytes requested, {in_use} of {limit} in use"
             ),
+            SimError::DeadlineExceeded {
+                kernel,
+                stream,
+                budget,
+                cycle,
+            } => write!(
+                f,
+                "deadline exceeded: kernel `{kernel}` on stream {stream} \
+                 overran its {budget}-cycle budget (killed at cycle {cycle})"
+            ),
+            SimError::MemcpyDropped { index, dir } => {
+                write!(
+                    f,
+                    "memcpy dropped by fault injection: {dir} transfer #{index}"
+                )
+            }
         }
     }
 }
@@ -249,6 +310,7 @@ mod tests {
         let e = SimError::DeviceFault(Box::new(DeviceFault {
             kind: FaultKind::IllegalAddress,
             kernel: "oob_store".to_string(),
+            stream: 0,
             sm: 2,
             cta: Some(1),
             warp: Some(3),
@@ -272,6 +334,7 @@ mod tests {
     fn deadlock_display_lists_queues() {
         let e = SimError::Deadlock(Box::new(DeadlockReport {
             cycle: 60_000,
+            stream: 0,
             stalled_for: 50_000,
             warps: Vec::new(),
             host_queue: 1,
@@ -283,6 +346,28 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("no forward progress for 50000 cycles"), "{s}");
         assert!(s.contains("2 outstanding SM request(s)"), "{s}");
+    }
+
+    #[test]
+    fn deadline_and_memcpy_drop_display() {
+        let e = SimError::DeadlineExceeded {
+            kernel: "sw_batch".to_string(),
+            stream: 3,
+            budget: 1_000_000,
+            cycle: 1_234_567,
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded"), "{s}");
+        assert!(s.contains("stream 3"), "{s}");
+        assert!(s.contains("1000000-cycle budget"), "{s}");
+
+        let d = SimError::MemcpyDropped {
+            index: 7,
+            dir: CopyDir::D2H,
+        };
+        let s = d.to_string();
+        assert!(s.contains("memcpy dropped"), "{s}");
+        assert!(s.contains("d2h transfer #7"), "{s}");
     }
 
     #[test]

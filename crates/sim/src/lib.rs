@@ -56,7 +56,7 @@ mod stats;
 mod trace;
 
 pub use config::{FaultPlan, GpuConfig, PcieConfig};
-pub use device::Gpu;
+pub use device::{Gpu, LaunchOptions, StreamId};
 pub use error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 pub use memory::{DeviceMemory, DevicePtr};
 pub use profile::{

@@ -53,6 +53,9 @@ pub struct KernelRecord {
     pub parent: Option<u64>,
     /// CDP nesting depth (0 for host grids).
     pub depth: u32,
+    /// Stream the grid was launched on (0 = default stream; CDP children
+    /// inherit their parent's stream).
+    pub stream: usize,
     /// Device cycle at which the grid was enqueued.
     pub launch_cycle: u64,
     /// Device cycle at which the first CTA dispatched (after launch
@@ -100,6 +103,7 @@ impl KernelRecord {
             .str("origin", if self.is_cdp_child() { "cdp" } else { "host" })
             .opt_u64("parent", self.parent)
             .u64("depth", self.depth as u64)
+            .u64("stream", self.stream as u64)
             .u64("launch_cycle", self.launch_cycle)
             .u64("start_cycle", self.start_cycle)
             .u64("retire_cycle", self.retire_cycle)
@@ -794,6 +798,7 @@ mod tests {
                 threads_per_cta: 64,
                 parent: None,
                 depth: 0,
+                stream: 0,
                 launch_cycle: 0,
                 start_cycle: 100,
                 retire_cycle: 900,

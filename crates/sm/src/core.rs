@@ -1170,6 +1170,20 @@ impl SmCore {
         }
     }
 
+    /// Reset the warp-scheduler cursors (round-robin position and GTO
+    /// sticky warp) to their power-on state. The device calls this at
+    /// canonical kernel boundaries so scheduling decisions inside a grid
+    /// never depend on where the previous grid happened to leave the
+    /// cursors; resident work is unaffected (the SM must be idle).
+    pub fn reset_schedulers(&mut self) {
+        for c in &mut self.rr_cursor {
+            *c = 0;
+        }
+        for g in &mut self.gto_current {
+            *g = None;
+        }
+    }
+
     /// Requests outstanding to the memory system.
     pub fn outstanding_requests(&self) -> usize {
         self.outstanding.len()

@@ -5,7 +5,9 @@
 use ggpu_isa::{
     CmpOp, FaultKind, KernelBuilder, KernelId, LaunchDims, Operand, Program, Space, Width,
 };
-use ggpu_sim::{FaultPlan, Gpu, GpuConfig, LaunchProblem, SimError, WarpWait};
+use ggpu_sim::{
+    CopyDir, FaultPlan, Gpu, GpuConfig, LaunchOptions, LaunchProblem, SimError, StreamId, WarpWait,
+};
 
 /// Kernel: store one u64 at `param[0] + offset` from a single thread.
 fn store_at(offset: i64) -> Program {
@@ -311,4 +313,330 @@ fn cdp_queue_overflow_injection_faults_parent_launch() {
         }
         other => panic!("expected DeviceFault, got {other}"),
     }
+}
+
+#[test]
+fn memcpy_drop_injection_is_typed_and_not_sticky() {
+    let mut config = GpuConfig::test_small();
+    config.fault_plan.drop_memcpy = Some(0);
+    let mut gpu = Gpu::new(write_tids(), config);
+    let buf = gpu.malloc(256);
+    let err = gpu
+        .try_memcpy_h2d(buf, &[1u8; 16])
+        .expect_err("transfer #0 must be dropped");
+    match err {
+        SimError::MemcpyDropped { index: 0, dir } => assert_eq!(dir, CopyDir::H2D),
+        other => panic!("expected MemcpyDropped, got {other}"),
+    }
+    // No payload moved, the device is not poisoned, and the retry (a new
+    // transfer index) goes through.
+    assert!(gpu.fault().is_none());
+    gpu.try_memcpy_h2d(buf, &[1u8; 16]).expect("retry succeeds");
+    let back = gpu.try_memcpy_d2h(buf, 16).expect("readback succeeds");
+    assert_eq!(back, vec![1u8; 16]);
+}
+
+#[test]
+fn memcpy_poison_injection_corrupts_exactly_one_transfer() {
+    // H2D: transfer #0 corrupts what lands in device memory.
+    let mut config = GpuConfig::test_small();
+    config.fault_plan.poison_memcpy = Some(0);
+    let mut gpu = Gpu::new(write_tids(), config);
+    let buf = gpu.malloc(256);
+    let data = [0x11u8; 16];
+    gpu.try_memcpy_h2d(buf, &data)
+        .expect("poisoned copy still succeeds");
+    let back = gpu.try_memcpy_d2h(buf, 16).expect("clean readback");
+    assert_eq!(
+        back,
+        vec![0x11 ^ 0xA5; 16],
+        "device image must be corrupted"
+    );
+
+    // D2H: device memory stays intact, only the returned bytes flip.
+    let mut config = GpuConfig::test_small();
+    config.fault_plan.poison_memcpy = Some(1);
+    let mut gpu = Gpu::new(write_tids(), config);
+    let buf = gpu.malloc(256);
+    gpu.try_memcpy_h2d(buf, &data).expect("clean upload");
+    let poisoned = gpu
+        .try_memcpy_d2h(buf, 16)
+        .expect("poisoned readback succeeds");
+    assert_eq!(poisoned, vec![0x11 ^ 0xA5; 16]);
+    let clean = gpu.try_memcpy_d2h(buf, 16).expect("next readback is clean");
+    assert_eq!(clean, vec![0x11; 16], "device memory must be unharmed");
+}
+
+#[test]
+fn unknown_stream_launch_is_rejected() {
+    let mut gpu = Gpu::new(write_tids(), GpuConfig::test_small());
+    let buf = gpu.malloc(1024);
+    let err = gpu
+        .try_launch_on(
+            KernelId(0),
+            LaunchDims::linear(1, 32),
+            &[buf.0],
+            LaunchOptions {
+                stream: StreamId(5),
+                deadline: None,
+            },
+        )
+        .unwrap_err();
+    match err {
+        SimError::InvalidLaunch {
+            problem: LaunchProblem::UnknownStream { requested, streams },
+            ..
+        } => {
+            assert_eq!(requested, 5);
+            assert_eq!(streams, 1);
+        }
+        other => panic!("expected UnknownStream, got {other}"),
+    }
+}
+
+#[test]
+fn stream_fault_isolates_and_reset_stream_recovers() {
+    // Stream 1 runs an out-of-bounds store; stream 2 runs a well-behaved
+    // kernel. The fault must poison only stream 1.
+    let mut program = store_at(1 << 20);
+    let good = program.add({
+        let mut b = KernelBuilder::new("write_tids");
+        let tid = b.global_tid();
+        let out = b.reg();
+        b.ld_param(out, 0);
+        let oa = b.reg();
+        b.imul(oa, tid, Operand::imm(8));
+        b.iadd(oa, oa, Operand::reg(out));
+        b.st(Space::Global, Width::B64, Operand::reg(tid), oa, 0);
+        b.exit();
+        b.finish()
+    });
+    let config = GpuConfig::test_small().with_stream_isolation(true);
+    let mut gpu = Gpu::new(program, config);
+    let bad_buf = gpu.malloc(256);
+    let good_buf = gpu.malloc(64 * 8);
+    let s1 = gpu.create_stream();
+    let s2 = gpu.create_stream();
+    let on = |s| LaunchOptions {
+        stream: s,
+        deadline: None,
+    };
+    gpu.try_launch_on(KernelId(0), LaunchDims::linear(1, 1), &[bad_buf.0], on(s1))
+        .expect("launch on stream 1");
+    gpu.try_launch_on(good, LaunchDims::linear(2, 32), &[good_buf.0], on(s2))
+        .expect("launch on stream 2");
+
+    // The faulted stream must not fail the device-wide synchronize.
+    gpu.try_synchronize()
+        .expect("non-default stream fault must not poison the device");
+    assert!(gpu.fault().is_none(), "device-wide fault must stay clear");
+    let err = gpu.stream_fault(s1).cloned().expect("stream 1 is faulted");
+    match &err {
+        SimError::DeviceFault(f) => {
+            assert_eq!(f.stream, 1);
+            assert_eq!(f.kind, FaultKind::IllegalAddress);
+        }
+        other => panic!("expected DeviceFault on stream 1, got {other}"),
+    }
+    assert!(err.to_string().contains("stream 1"), "{err}");
+    assert!(gpu.stream_fault(s2).is_none());
+    // Stream 2's results are intact.
+    for i in 0..64u64 {
+        assert_eq!(gpu.memory().read_u64(good_buf.offset(i * 8)), i);
+    }
+    // New launches on the poisoned stream are refused with the same error
+    // until it is reset...
+    assert_eq!(
+        gpu.try_launch_on(good, LaunchDims::linear(1, 32), &[good_buf.0], on(s1))
+            .unwrap_err(),
+        err
+    );
+    // ...after which the very same stream is usable again.
+    assert_eq!(gpu.reset_stream(s1), Some(err));
+    assert!(gpu.stream_fault(s1).is_none());
+    gpu.try_launch_on(good, LaunchDims::linear(2, 32), &[good_buf.0], on(s1))
+        .expect("reset stream accepts launches");
+    gpu.try_synchronize().expect("recovered stream runs clean");
+}
+
+#[test]
+fn watchdog_kills_only_the_hung_stream() {
+    // Stream 1 hangs on a dropped memory reply; stream 2 has a healthy
+    // grid queued behind it. The watchdog must kill stream 1 and let the
+    // synchronize continue until stream 2 completes.
+    let mut p = Program::new();
+    let loader = p.add({
+        let mut b = KernelBuilder::new("loader");
+        let src = b.reg();
+        b.ld_param(src, 0);
+        let v = b.reg();
+        b.ld(Space::Global, Width::B64, v, src, 0);
+        b.st(Space::Global, Width::B64, Operand::reg(v), src, 8);
+        b.exit();
+        b.finish()
+    });
+    let good = p.add({
+        let mut b = KernelBuilder::new("write_tids");
+        let tid = b.global_tid();
+        let out = b.reg();
+        b.ld_param(out, 0);
+        let oa = b.reg();
+        b.imul(oa, tid, Operand::imm(8));
+        b.iadd(oa, oa, Operand::reg(out));
+        b.st(Space::Global, Width::B64, Operand::reg(tid), oa, 0);
+        b.exit();
+        b.finish()
+    });
+    let mut config = GpuConfig::test_small().with_stream_isolation(true);
+    config.watchdog_cycles = 2_000;
+    config.fault_plan.drop_reply = Some(0);
+    let mut gpu = Gpu::new(p, config);
+    let hang_buf = gpu.malloc(256);
+    let good_buf = gpu.malloc(64 * 8);
+    let s1 = gpu.create_stream();
+    let s2 = gpu.create_stream();
+    gpu.try_launch_on(
+        loader,
+        LaunchDims::linear(1, 1),
+        &[hang_buf.0],
+        LaunchOptions {
+            stream: s1,
+            deadline: None,
+        },
+    )
+    .expect("launch hang");
+    gpu.try_launch_on(
+        good,
+        LaunchDims::linear(2, 32),
+        &[good_buf.0],
+        LaunchOptions {
+            stream: s2,
+            deadline: None,
+        },
+    )
+    .expect("launch good");
+
+    gpu.try_synchronize()
+        .expect("watchdog on a non-default stream must not fail the sync");
+    let err = gpu.stream_fault(s1).expect("hung stream is faulted");
+    match err {
+        SimError::Deadlock(report) => {
+            assert_eq!(report.stream, 1);
+            assert!(report.stalled_for >= 2_000);
+        }
+        other => panic!("expected Deadlock on stream 1, got {other}"),
+    }
+    assert!(gpu.fault().is_none());
+    assert!(gpu.stream_fault(s2).is_none());
+    for i in 0..64u64 {
+        assert_eq!(gpu.memory().read_u64(good_buf.offset(i * 8)), i);
+    }
+}
+
+#[test]
+fn deadline_budget_kills_grid_with_typed_error() {
+    // A 10-cycle budget on a grid that needs hundreds of cycles: the
+    // deadline must fire, kill the owning stream, and spare the rest.
+    let mut gpu = Gpu::new(
+        write_tids(),
+        GpuConfig::test_small().with_stream_isolation(true),
+    );
+    let buf = gpu.malloc(64 * 8);
+    let s1 = gpu.create_stream();
+    gpu.try_launch_on(
+        KernelId(0),
+        LaunchDims::linear(2, 32),
+        &[buf.0],
+        LaunchOptions {
+            stream: s1,
+            deadline: Some(10),
+        },
+    )
+    .expect("launch with budget");
+    gpu.try_synchronize()
+        .expect("budget overrun on stream 1 must not fail the sync");
+    match gpu.stream_fault(s1) {
+        Some(SimError::DeadlineExceeded { stream, budget, .. }) => {
+            assert_eq!(*stream, 1);
+            assert_eq!(*budget, 10);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(gpu.fault().is_none());
+
+    // On the default stream the same overrun keeps CUDA's device-wide
+    // sticky semantics.
+    let mut gpu = Gpu::new(write_tids(), GpuConfig::test_small());
+    let buf = gpu.malloc(64 * 8);
+    gpu.try_launch_on(
+        KernelId(0),
+        LaunchDims::linear(2, 32),
+        &[buf.0],
+        LaunchOptions {
+            stream: StreamId::DEFAULT,
+            deadline: Some(10),
+        },
+    )
+    .expect("launch with budget");
+    let err = gpu
+        .try_synchronize()
+        .expect_err("default-stream deadline is device-sticky");
+    assert!(matches!(err, SimError::DeadlineExceeded { stream: 0, .. }));
+    assert!(err.to_string().contains("cycle budget"), "{err}");
+    gpu.reset_fault()
+        .expect("sticky deadline clears like a fault");
+    gpu.try_run_kernel(KernelId(0), LaunchDims::linear(2, 32), &[buf.0])
+        .expect("device usable after reset");
+}
+
+#[test]
+fn reset_fault_rescopes_kernel_records() {
+    // Regression: recovery must re-base the per-kernel record counters.
+    // Before the fix, the first grid retired after a fault absorbed the
+    // killed span's SM cycles into its own record delta.
+    let mut p = Program::new();
+    let loader = p.add({
+        let mut b = KernelBuilder::new("loader");
+        let src = b.reg();
+        b.ld_param(src, 0);
+        let v = b.reg();
+        b.ld(Space::Global, Width::B64, v, src, 0);
+        b.st(Space::Global, Width::B64, Operand::reg(v), src, 8);
+        b.exit();
+        b.finish()
+    });
+    let good = p.add({
+        let mut b = KernelBuilder::new("write_tids");
+        let tid = b.global_tid();
+        let out = b.reg();
+        b.ld_param(out, 0);
+        let oa = b.reg();
+        b.imul(oa, tid, Operand::imm(8));
+        b.iadd(oa, oa, Operand::reg(out));
+        b.st(Space::Global, Width::B64, Operand::reg(tid), oa, 0);
+        b.exit();
+        b.finish()
+    });
+    let mut config = GpuConfig::test_small().with_kernel_records(true);
+    config.watchdog_cycles = 2_000;
+    config.fault_plan.drop_reply = Some(0);
+    let mut gpu = Gpu::new(p, config);
+    let buf = gpu.malloc(64 * 8);
+    gpu.try_run_kernel(loader, LaunchDims::linear(1, 1), &[buf.0])
+        .expect_err("hang trips the watchdog");
+    gpu.reset_fault().expect("deadlock was sticky");
+    gpu.try_run_kernel(good, LaunchDims::linear(2, 32), &[buf.0])
+        .expect("device recovers");
+    // The killed grid never retired, so exactly one record exists — and
+    // its delta must cover only the post-recovery span, not the >= 2000
+    // cycles the hang burned across every SM.
+    let records = gpu.kernel_records();
+    assert_eq!(records.len(), 1, "{records:?}");
+    assert_eq!(records[0].kernel, "write_tids");
+    assert_eq!(records[0].stream, 0);
+    assert!(
+        records[0].stats.sm.cycles < 2_000,
+        "record absorbed the killed span: {} SM-cycles",
+        records[0].stats.sm.cycles
+    );
 }
