@@ -1,0 +1,516 @@
+//! `ggpu-stat` — the serving telemetry CLI.
+//!
+//! Drives a seeded traffic scenario through `ggpu-serve` and renders
+//! everything the observability layer captured: the `ServeMetrics`
+//! conservation ledger, per-stage latency histograms (queue wait, batch
+//! formation, device execution, end-to-end) with p50/p90/p99/max broken
+//! down per tenant and per kernel shape, and a top-N table of the
+//! slowest requests with the device events causally tied to each.
+//!
+//! ```text
+//! ggpu-stat [SCENARIO] [--jobs N] [--wave N] [--seed S] [--threads N]
+//!           [--top N] [--trace] [--tag NAME]
+//! scenarios: steady    well-provisioned queue, no faults (default)
+//!            overload  burst arrivals into a shallow queue (backpressure)
+//!            faults    the soak fault plan: dropped PCIe transfer +
+//!                      dropped memory reply (watchdog kill, stream reset)
+//! ```
+//!
+//! Machine-readable outputs land in `results/` (override the directory
+//! with `GGPU_RESULTS_DIR`, the `<scenario>` part of the filenames with
+//! `--tag`): `serve_<scenario>.json` (the full
+//! [`ServeReport`]), `serve_<scenario>_latency.csv` (one row per
+//! scope × stage), `serve_<scenario>_requests.csv` (one row per
+//! terminated request), and — with `--trace` —
+//! `serve_<scenario>_trace.json`, the unified host+device Chrome trace
+//! (load at <https://ui.perfetto.dev>).
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+
+use ggpu_core::json::{Json, JsonWriter};
+use ggpu_core::render_table;
+use ggpu_genomics::random_genome;
+use ggpu_serve::{
+    AdmitError, Histogram, JobKind, LatencyStats, Priority, ServeConfig, ServeReport, Service,
+    Tenant,
+};
+use ggpu_sim::{FaultPlan, GpuConfig};
+use rand::{Rng, SeedableRng};
+
+const GENOME_LEN: usize = 600;
+const FM_READ_LEN: u32 = 16;
+const PHMM_READ: u32 = 10;
+const PHMM_HAP: u32 = 14;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Steady,
+    Overload,
+    Faults,
+}
+
+impl Scenario {
+    fn tag(self) -> &'static str {
+        match self {
+            Scenario::Steady => "steady",
+            Scenario::Overload => "overload",
+            Scenario::Faults => "faults",
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ggpu-stat [steady|overload|faults] [--jobs N] [--wave N] [--seed S]\n\
+         \u{20}                [--threads N] [--top N] [--trace] [--tag NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario = Scenario::Steady;
+    let mut jobs = 48usize;
+    let mut wave = 6usize;
+    let mut seed = 42u64;
+    let mut top = 5usize;
+    let mut trace = false;
+    let mut tag: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "steady" => scenario = Scenario::Steady,
+            "overload" => scenario = Scenario::Overload,
+            "faults" => scenario = Scenario::Faults,
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => usage(),
+            },
+            "--wave" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => wave = n,
+                _ => usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                _ => usage(),
+            },
+            "--threads" => match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => std::env::set_var("GGPU_SIM_THREADS", n.to_string()),
+                _ => usage(),
+            },
+            "--top" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => top = n,
+                _ => usage(),
+            },
+            "--trace" => trace = true,
+            "--tag" => match it.next() {
+                Some(t) if !t.is_empty() && !t.starts_with('-') => tag = Some(t.clone()),
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let report = run_scenario(scenario, seed, jobs, wave);
+    println!(
+        "ggpu-stat: scenario={} jobs={} wave={} seed={} clock={}GHz\n",
+        scenario.tag(),
+        jobs,
+        wave,
+        seed,
+        report.clock_ghz
+    );
+    print_metrics(&report);
+    print_latency(&report);
+    print_slowest(&report, top);
+    let tag = tag.as_deref().unwrap_or(scenario.tag());
+    write_outputs(tag, seed, jobs, wave, &report, trace);
+}
+
+/// Build the scenario's service configuration. All three share the soak
+/// geometry (3 workers, batch of 4, all three kernel shapes enabled);
+/// they differ in queue bound and fault plan.
+fn scenario_config(scenario: Scenario, genome: &[u8]) -> ServeConfig {
+    let mut cfg = ServeConfig::test_small();
+    cfg.gpu = GpuConfig::test_small();
+    cfg.gpu.watchdog_cycles = 10_000;
+    cfg.workers = 3;
+    cfg.queue_capacity = 24;
+    cfg.tenant_quota = 64;
+    cfg.max_batch = 4;
+    cfg.fm_genome = genome.to_vec();
+    cfg.fm_read_len = FM_READ_LEN;
+    cfg.phmm_read_len = PHMM_READ;
+    cfg.phmm_hap_len = PHMM_HAP;
+    match scenario {
+        Scenario::Steady => {}
+        Scenario::Overload => {
+            cfg.queue_capacity = 8;
+        }
+        Scenario::Faults => {
+            cfg.gpu.fault_plan = FaultPlan {
+                drop_memcpy: Some(7),
+                drop_reply: Some(25),
+                ..FaultPlan::default()
+            };
+        }
+    }
+    cfg
+}
+
+/// One seeded job; the mix cycles through all three kernel shapes.
+fn gen_job(genome: &[u8], rng: &mut rand::rngs::StdRng) -> JobKind {
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let ql = rng.gen_range(6..60usize);
+            let tl = rng.gen_range(6..60usize);
+            JobKind::Pairwise {
+                query: (0..ql).map(|_| rng.gen_range(0..4u8)).collect(),
+                target: (0..tl).map(|_| rng.gen_range(0..4u8)).collect(),
+            }
+        }
+        1 => {
+            let s = rng.gen_range(0..GENOME_LEN - FM_READ_LEN as usize);
+            JobKind::FmMap {
+                read: genome[s..s + FM_READ_LEN as usize].to_vec(),
+            }
+        }
+        _ => {
+            let hap: Vec<u8> = (0..PHMM_HAP).map(|_| rng.gen_range(0..4u8)).collect();
+            let s = rng.gen_range(0..=(PHMM_HAP - PHMM_READ) as usize);
+            let read = hap[s..s + PHMM_READ as usize].to_vec();
+            let quals: Vec<u8> = (0..PHMM_READ).map(|_| rng.gen_range(15..45u8)).collect();
+            JobKind::PairHmm { read, quals, hap }
+        }
+    }
+}
+
+/// Stream the scenario's traffic through a service and return the report.
+/// Submissions the bounded queue refuses are re-offered next round — the
+/// rejection still lands in the metrics, which is the point of the
+/// overload scenario.
+fn run_scenario(scenario: Scenario, seed: u64, jobs: usize, wave: usize) -> ServeReport {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let genome = random_genome(GENOME_LEN, &mut rng).codes().to_vec();
+    let mut svc = Service::new(scenario_config(scenario, &genome)).expect("build service");
+    let mut gen_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut pending: VecDeque<JobKind> =
+        (0..jobs).map(|_| gen_job(&genome, &mut gen_rng)).collect();
+    let mut submitted = 0u32;
+    let mut rounds = 0u64;
+    while !pending.is_empty() {
+        for _ in 0..wave {
+            let Some(kind) = pending.pop_front() else {
+                break;
+            };
+            match svc.submit(Tenant(submitted % 4), Priority(1), None, kind.clone()) {
+                Ok(_) => submitted += 1,
+                Err(AdmitError::Overloaded { .. }) => {
+                    pending.push_front(kind);
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("unexpected admission error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        svc.run_round().expect("device-wide fault");
+        rounds += 1;
+        if rounds > 10_000 {
+            eprintln!("scenario failed to make progress after {rounds} rounds");
+            std::process::exit(1);
+        }
+    }
+    svc.run_until_idle(1_000).expect("device-wide fault");
+    svc.report()
+}
+
+fn print_metrics(r: &ServeReport) {
+    let m = r.metrics;
+    let rows = vec![
+        vec!["submitted".into(), m.submitted.to_string()],
+        vec!["admitted".into(), m.admitted.to_string()],
+        vec!["rejected_overload".into(), m.rejected_overload.to_string()],
+        vec!["rejected_quota".into(), m.rejected_quota.to_string()],
+        vec!["rejected_shape".into(), m.rejected_shape.to_string()],
+        vec!["completed".into(), m.completed.to_string()],
+        vec!["failed".into(), m.failed.to_string()],
+        vec!["deadline_exceeded".into(), m.deadline_exceeded.to_string()],
+        vec!["shed".into(), m.shed.to_string()],
+        vec!["batches_launched".into(), m.batches_launched.to_string()],
+        vec!["retries".into(), m.retries.to_string()],
+        vec!["splits".into(), m.splits.to_string()],
+        vec!["stream_resets".into(), m.stream_resets.to_string()],
+        vec!["queue_depth_hwm".into(), m.queue_depth_hwm.to_string()],
+        vec![
+            "inflight_batches_hwm".into(),
+            m.inflight_batches_hwm.to_string(),
+        ],
+        vec!["rounds".into(), m.rounds.to_string()],
+    ];
+    println!("== serving metrics");
+    println!("{}", render_table(&["counter", "value"], &rows));
+    // The conservation ledger, stated explicitly so a glance at the
+    // output verifies it.
+    println!(
+        "conservation: {} submitted = {} admitted + {} rejected; {} admitted = {} terminal\n",
+        m.submitted,
+        m.admitted,
+        m.rejected_overload + m.rejected_quota + m.rejected_shape,
+        m.admitted,
+        m.completed + m.failed + m.deadline_exceeded + m.shed,
+    );
+}
+
+fn stage_rows(scope: &str, stats: &LatencyStats, rows: &mut Vec<Vec<String>>) {
+    let stages: [(&str, &Histogram); 4] = [
+        ("queue_wait", &stats.queue_wait),
+        ("batch_formation", &stats.batch_formation),
+        ("device_exec", &stats.device_exec),
+        ("e2e", &stats.e2e),
+    ];
+    for (stage, h) in stages {
+        rows.push(vec![
+            scope.to_string(),
+            stage.to_string(),
+            h.count().to_string(),
+            h.percentile(50.0).to_string(),
+            h.percentile(90.0).to_string(),
+            h.percentile(99.0).to_string(),
+            h.max().to_string(),
+            format!("{:.1}", h.mean()),
+        ]);
+    }
+}
+
+/// Every scope × stage latency row: global, per tenant, per shape, and
+/// the per-outcome end-to-end histograms.
+fn latency_rows(r: &ServeReport) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    stage_rows("global", &r.global, &mut rows);
+    for (t, stats) in &r.per_tenant {
+        stage_rows(&format!("tenant/{t}"), stats, &mut rows);
+    }
+    for (shape, stats) in &r.per_shape {
+        stage_rows(&format!("shape/{shape}"), stats, &mut rows);
+    }
+    for (tag, h) in &r.per_outcome {
+        if h.count() == 0 {
+            continue;
+        }
+        rows.push(vec![
+            format!("outcome/{tag}"),
+            "e2e".to_string(),
+            h.count().to_string(),
+            h.percentile(50.0).to_string(),
+            h.percentile(90.0).to_string(),
+            h.percentile(99.0).to_string(),
+            h.max().to_string(),
+            format!("{:.1}", h.mean()),
+        ]);
+    }
+    rows
+}
+
+const LATENCY_HEADERS: [&str; 8] = [
+    "scope", "stage", "count", "p50", "p90", "p99", "max", "mean",
+];
+
+fn print_latency(r: &ServeReport) {
+    println!("== latency (cycles)");
+    println!("{}", render_table(&LATENCY_HEADERS, &latency_rows(r)));
+}
+
+fn print_slowest(r: &ServeReport, top: usize) {
+    println!("== top {top} slowest requests");
+    let rows: Vec<Vec<String>> = r
+        .slowest(top)
+        .iter()
+        .map(|t| {
+            vec![
+                t.job.0.to_string(),
+                t.tenant.0.to_string(),
+                t.shape.to_string(),
+                t.outcome.tag().to_string(),
+                t.e2e.to_string(),
+                t.batch_assign_cycle
+                    .map(|c| (c - t.submit_cycle).to_string())
+                    .unwrap_or_default(),
+                t.device_exec.map(|c| c.to_string()).unwrap_or_default(),
+                t.grids.len().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "job",
+                "tenant",
+                "shape",
+                "outcome",
+                "e2e",
+                "queue_wait",
+                "dev_exec",
+                "launches",
+            ],
+            &rows
+        )
+    );
+    // The causal device slice for each: what the device did on this
+    // request's grids/streams while it was alive.
+    for t in r.slowest(top) {
+        let causal = r.causal_device_events(t);
+        let summary: Vec<String> = causal
+            .iter()
+            .take(12)
+            .map(|e| format!("{}@{}", e.kind.tag(), e.cycle))
+            .collect();
+        println!(
+            "job {} [{}] grids {:?}: {}{}",
+            t.job.0,
+            t.outcome.tag(),
+            t.grids.iter().map(|g| g.grid).collect::<Vec<_>>(),
+            summary.join(" "),
+            if causal.len() > 12 {
+                format!(" (+{} more)", causal.len() - 12)
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!();
+}
+
+// ---- exports ---------------------------------------------------------------
+
+fn results_dir() -> PathBuf {
+    std::env::var_os("GGPU_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn csv_cell(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| csv_cell(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| csv_cell(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Write a JSON document after validating it parses, so every emitted
+/// file is machine-readable by construction.
+fn write_json_doc(name: &str, doc: &str) {
+    if let Err(e) = Json::parse(doc) {
+        eprintln!("warning: {name} JSON failed validation, not writing: {e}");
+        return;
+    }
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn write_outputs(tag: &str, seed: u64, jobs: usize, wave: usize, r: &ServeReport, trace: bool) {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.str("scenario", tag)
+        .u64("seed", seed)
+        .u64("jobs", jobs as u64)
+        .u64("wave", wave as u64)
+        .raw("report", &r.to_json());
+    w.end_obj();
+    write_json_doc(&format!("serve_{tag}"), &w.finish());
+
+    write_csv(
+        &format!("serve_{tag}_latency"),
+        &LATENCY_HEADERS,
+        &latency_rows(r),
+    );
+
+    let request_rows: Vec<Vec<String>> = r
+        .trails
+        .iter()
+        .map(|t| {
+            vec![
+                t.job.0.to_string(),
+                t.tenant.0.to_string(),
+                t.shape.to_string(),
+                t.priority.0.to_string(),
+                t.outcome.tag().to_string(),
+                t.submit_cycle.to_string(),
+                t.batch_assign_cycle
+                    .map(|c| c.to_string())
+                    .unwrap_or_default(),
+                t.first_launch_cycle
+                    .map(|c| c.to_string())
+                    .unwrap_or_default(),
+                t.complete_cycle.to_string(),
+                t.device_exec.map(|c| c.to_string()).unwrap_or_default(),
+                t.e2e.to_string(),
+                t.grids.len().to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        &format!("serve_{tag}_requests"),
+        &[
+            "job",
+            "tenant",
+            "shape",
+            "priority",
+            "outcome",
+            "submit_cycle",
+            "batch_assign_cycle",
+            "first_launch_cycle",
+            "complete_cycle",
+            "device_exec_cycles",
+            "e2e_cycles",
+            "launches",
+        ],
+        &request_rows,
+    );
+
+    if trace {
+        write_json_doc(&format!("serve_{tag}_trace"), &r.chrome_trace());
+    }
+}

@@ -20,6 +20,9 @@ const PAD_T: u8 = 5;
 /// with its retry state.
 #[derive(Debug)]
 pub(crate) struct Batch {
+    /// Service-unique batch id (telemetry join key; split halves get
+    /// fresh ids).
+    pub(crate) id: u64,
     /// The common shape (every member classifies to this key).
     pub(crate) shape: ShapeKey,
     /// Members, in admission order.
@@ -31,11 +34,12 @@ pub(crate) struct Batch {
 }
 
 impl Batch {
-    pub(crate) fn new(jobs: Vec<QueuedJob>) -> Self {
+    pub(crate) fn new(id: u64, jobs: Vec<QueuedJob>) -> Self {
         debug_assert!(!jobs.is_empty());
         let shape = jobs[0].shape;
         debug_assert!(jobs.iter().all(|j| j.shape == shape));
         Batch {
+            id,
             shape,
             jobs,
             attempts: 0,

@@ -28,6 +28,11 @@
 //! * **Deadlines**: per-job cycle budgets ride the launch
 //!   ([`ggpu_sim::LaunchOptions::deadline`]) and are enforced *on device*
 //!   by the watchdog machinery.
+//! * **Observability**: every request is traced through its lifecycle
+//!   (typed [`ServeEvent`]s carrying the device stream and grid handle),
+//!   latencies land in dependency-free log-bucketed [`Histogram`]s per
+//!   tenant/shape/outcome, and [`Service::report`] bundles it all —
+//!   including a unified host+device Chrome trace — as a [`ServeReport`].
 //!
 //! Everything is deterministic: given the same submissions and the same
 //! fault plan, outcomes and device statistics are bit-identical at any
@@ -39,17 +44,25 @@
 
 mod batch;
 mod error;
+pub mod histogram;
 mod job;
 mod metrics;
 mod queue;
+mod report;
 mod service;
 mod shape;
+mod telemetry;
 
 pub use error::{AdmitError, ServiceDead};
+pub use histogram::{Histogram, LatencyStats};
 pub use job::{JobId, JobKind, JobOutcome, JobOutput, JobSpec, Priority, Tenant};
 pub use metrics::ServeMetrics;
+pub use report::ServeReport;
 pub use service::Service;
 pub use shape::{shape_of, ShapeKey};
+pub use telemetry::{
+    BatchSpan, GridRef, JobTrail, OutcomeTag, RejectReason, ServeEvent, ServeEventKind,
+};
 
 use ggpu_sim::GpuConfig;
 
@@ -96,6 +109,9 @@ pub struct ServeConfig {
     /// Cycle budget applied to jobs that set none; `None` leaves them
     /// unbounded (the device watchdog still applies).
     pub default_deadline: Option<u64>,
+    /// Capacity of the telemetry event log ([`ServeEvent`]s); further
+    /// events are dropped and counted, like the device trace buffer.
+    pub telemetry_events: usize,
 }
 
 impl ServeConfig {
@@ -118,6 +134,7 @@ impl ServeConfig {
             phmm_read_len: 10,
             phmm_hap_len: 14,
             default_deadline: None,
+            telemetry_events: 1 << 16,
         }
     }
 }

@@ -1,6 +1,31 @@
 //! Service counters: one cheap, copyable struct, bumped inline.
 
-/// Monotonic counters over a [`crate::Service`]'s lifetime.
+use ggpu_sim::json::JsonWriter;
+
+/// Monotonic counters and saturation gauges over a [`crate::Service`]'s
+/// lifetime.
+///
+/// # Conservation invariants
+///
+/// Admission is total — every submission is counted exactly once:
+///
+/// ```text
+/// submitted == admitted + rejected_overload + rejected_quota + rejected_shape
+/// ```
+///
+/// and every admitted job reaches exactly one terminal outcome once the
+/// service drains ([`crate::Service::backlog`] == 0 and nothing is
+/// launched):
+///
+/// ```text
+/// admitted == completed + failed + deadline_exceeded + shed
+/// ```
+///
+/// While work is in flight the right-hand side lags `admitted` by exactly
+/// the number of admitted-but-unfinished jobs. Both invariants are
+/// enforced by `conservation` tests in `crates/serve/tests` and by the
+/// telemetry layer, whose end-to-end histogram count telescopes to the
+/// terminal-outcome sum.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeMetrics {
     /// Jobs offered to [`crate::Service::submit`].
@@ -34,4 +59,55 @@ pub struct ServeMetrics {
     pub streams_created: u64,
     /// Scheduling rounds executed.
     pub rounds: u64,
+    /// Jobs currently waiting in the admission queue (gauge).
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` (saturation is invisible from
+    /// monotonic counters alone).
+    pub queue_depth_hwm: u64,
+    /// Batches currently launched or parked for retry (gauge).
+    pub inflight_batches: u64,
+    /// High-water mark of `inflight_batches`.
+    pub inflight_batches_hwm: u64,
+}
+
+impl ServeMetrics {
+    /// Record the current queue depth, tracking the high-water mark.
+    pub(crate) fn gauge_queue_depth(&mut self, depth: u64) {
+        self.queue_depth = depth;
+        self.queue_depth_hwm = self.queue_depth_hwm.max(depth);
+    }
+
+    /// Record the current in-flight batch count, tracking the high-water
+    /// mark.
+    pub(crate) fn gauge_inflight_batches(&mut self, n: u64) {
+        self.inflight_batches = n;
+        self.inflight_batches_hwm = self.inflight_batches_hwm.max(n);
+    }
+
+    /// Serialize as a standalone JSON object (one key per field).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.u64("submitted", self.submitted)
+            .u64("admitted", self.admitted)
+            .u64("rejected_overload", self.rejected_overload)
+            .u64("rejected_quota", self.rejected_quota)
+            .u64("rejected_shape", self.rejected_shape)
+            .u64("shed", self.shed)
+            .u64("completed", self.completed)
+            .u64("failed", self.failed)
+            .u64("deadline_exceeded", self.deadline_exceeded)
+            .u64("batches_launched", self.batches_launched)
+            .u64("retries", self.retries)
+            .u64("splits", self.splits)
+            .u64("stream_resets", self.stream_resets)
+            .u64("streams_created", self.streams_created)
+            .u64("rounds", self.rounds)
+            .u64("queue_depth", self.queue_depth)
+            .u64("queue_depth_hwm", self.queue_depth_hwm)
+            .u64("inflight_batches", self.inflight_batches)
+            .u64("inflight_batches_hwm", self.inflight_batches_hwm);
+        w.end_obj();
+        w.finish()
+    }
 }

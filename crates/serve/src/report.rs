@@ -1,0 +1,517 @@
+//! The serving observability report: metrics, latency histograms, the
+//! host event stream, batch spans, request trails, and a unified
+//! host+device Chrome-trace export.
+//!
+//! The Chrome trace renders two Perfetto processes on one cycle
+//! timeline: pid 0 holds the host rows (an admission-queue-depth counter
+//! track, one row per worker, one row per tenant) and pid 1 holds the
+//! device rows (one row per stream built from [`ggpu_sim::KernelRecord`]s,
+//! plus PCIe transfers and fault/watchdog instants from the
+//! stream-annotated device trace). Host events carry the grid handle and
+//! [`ggpu_sim::StreamId`], so a slow request can be followed from
+//! admission through queue wait, batch formation, stream launch, and the
+//! device kernel's start/retire — including retries and stream resets on
+//! a faulted path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ggpu_sim::json::{escape, num, JsonWriter};
+use ggpu_sim::{KernelRecord, TraceEvent, TraceEventKind};
+
+use crate::histogram::{Histogram, LatencyStats};
+use crate::metrics::ServeMetrics;
+use crate::shape::ShapeKey;
+use crate::telemetry::{BatchSpan, JobTrail, ServeEvent, ServeEventKind};
+
+/// Everything the serving layer observed, in one exportable bundle.
+/// Built by [`crate::Service::report`].
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Lifetime counters and gauges.
+    pub metrics: ServeMetrics,
+    /// Device clock in GHz (for cycle→time conversion in the trace).
+    pub clock_ghz: f64,
+    /// Latency histograms over every admitted job.
+    pub global: LatencyStats,
+    /// Latency histograms broken down per tenant.
+    pub per_tenant: BTreeMap<u32, LatencyStats>,
+    /// Latency histograms broken down per kernel shape.
+    pub per_shape: BTreeMap<ShapeKey, LatencyStats>,
+    /// End-to-end histograms per outcome class, as `(tag, histogram)` in
+    /// a fixed order: done, shed, deadline_exceeded, failed.
+    pub per_outcome: Vec<(&'static str, Histogram)>,
+    /// The typed host event stream, in emission order.
+    pub events: Vec<ServeEvent>,
+    /// Host events dropped after the log filled.
+    pub events_dropped: u64,
+    /// One span per batch launch (launch → retire/fault-settle).
+    pub spans: Vec<BatchSpan>,
+    /// One trail per terminated job, in completion order.
+    pub trails: Vec<JobTrail>,
+    /// Admitted jobs not yet terminal when the report was taken.
+    pub in_flight: u64,
+    /// The device's stream-annotated event trace.
+    pub device_events: Vec<TraceEvent>,
+    /// Per-grid device records (the join target of launch events).
+    pub device_records: Vec<KernelRecord>,
+}
+
+impl ServeReport {
+    /// The `n` slowest terminated jobs by end-to-end cycles (ties broken
+    /// by job id, so the order is deterministic).
+    pub fn slowest(&self, n: usize) -> Vec<&JobTrail> {
+        let mut sorted: Vec<&JobTrail> = self.trails.iter().collect();
+        sorted.sort_by(|a, b| b.e2e.cmp(&a.e2e).then(a.job.0.cmp(&b.job.0)));
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Device events causally tied to a trail: events whose grid handle
+    /// matches one of the trail's launches, or whose stream matches one
+    /// of the trail's streams within the trail's lifetime window.
+    pub fn causal_device_events(&self, trail: &JobTrail) -> Vec<&TraceEvent> {
+        let grids: BTreeSet<u64> = trail.grids.iter().map(|g| g.grid).collect();
+        let streams: BTreeSet<usize> = trail.grids.iter().map(|g| g.stream).collect();
+        self.device_events
+            .iter()
+            .filter(|ev| {
+                let (grid, stream) = match &ev.kind {
+                    TraceEventKind::KernelLaunch { grid, stream, .. }
+                    | TraceEventKind::CdpEnqueue { grid, stream, .. }
+                    | TraceEventKind::KernelStart { grid, stream }
+                    | TraceEventKind::KernelRetire { grid, stream } => (Some(*grid), *stream),
+                    TraceEventKind::Fault { stream, .. }
+                    | TraceEventKind::Deadlock { stream, .. } => (None, *stream),
+                    _ => return false,
+                };
+                if let Some(g) = grid {
+                    grids.contains(&g)
+                } else {
+                    streams.contains(&stream)
+                        && ev.cycle >= trail.submit_cycle
+                        && ev.cycle <= trail.complete_cycle
+                }
+            })
+            .collect()
+    }
+
+    /// Serialize the whole report as one JSON document (hand-rolled via
+    /// [`ggpu_sim::json`]; parse it back with [`ggpu_sim::json::Json`]).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.f64("clock_ghz", self.clock_ghz)
+            .raw("metrics", &self.metrics.to_json())
+            .u64("in_flight", self.in_flight)
+            .u64("events_dropped", self.events_dropped);
+        w.begin_obj_key("latency");
+        w.raw("global", &self.global.to_json());
+        w.begin_obj_key("per_tenant");
+        for (t, stats) in &self.per_tenant {
+            w.raw(&t.to_string(), &stats.to_json());
+        }
+        w.end_obj();
+        w.begin_obj_key("per_shape");
+        for (shape, stats) in &self.per_shape {
+            w.raw(&shape.to_string(), &stats.to_json());
+        }
+        w.end_obj();
+        w.begin_obj_key("per_outcome");
+        for (tag, h) in &self.per_outcome {
+            w.raw(tag, &h.to_json());
+        }
+        w.end_obj();
+        w.end_obj();
+        w.begin_arr_key("events");
+        for ev in &self.events {
+            w.elem_raw(&ev.to_json());
+        }
+        w.end_arr();
+        w.begin_arr_key("batches");
+        for span in &self.spans {
+            w.elem_raw(&span.to_json());
+        }
+        w.end_arr();
+        w.begin_arr_key("requests");
+        for t in &self.trails {
+            w.elem_raw(&trail_json(t));
+        }
+        w.end_arr();
+        w.begin_arr_key("device_events");
+        for ev in &self.device_events {
+            w.elem_raw(&ev.to_json());
+        }
+        w.end_arr();
+        w.begin_arr_key("kernels");
+        for r in &self.device_records {
+            w.elem_raw(&r.to_json());
+        }
+        w.end_arr();
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Render the unified host+device Chrome trace. Load at
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        let ghz = if self.clock_ghz > 0.0 {
+            self.clock_ghz
+        } else {
+            1.0
+        };
+        let us = |cycles: u64| cycles as f64 / (ghz * 1000.0);
+        let mut out: Vec<String> = Vec::new();
+        let mut ev = |name: &str,
+                      ph: char,
+                      ts: f64,
+                      dur: Option<f64>,
+                      pid: usize,
+                      tid: u64,
+                      args: &[(&str, String)]| {
+            let mut s = format!(
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+                escape(name),
+                ph,
+                num(ts),
+                pid,
+                tid
+            );
+            if let Some(d) = dur {
+                s.push_str(&format!(",\"dur\":{}", num(d.max(0.001))));
+            }
+            if ph == 'i' {
+                s.push_str(",\"s\":\"t\"");
+            }
+            if !args.is_empty() {
+                s.push_str(",\"args\":{");
+                for (i, (k, v)) in args.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("\"{}\":{}", escape(k), v));
+                }
+                s.push('}');
+            }
+            s.push('}');
+            out.push(s);
+        };
+
+        const HOST: usize = 0;
+        const DEV: usize = 1;
+        const TID_QUEUE: u64 = 0;
+        const TID_WORKER0: u64 = 1;
+        const TID_TENANT0: u64 = 100;
+
+        ev(
+            "process_name",
+            'M',
+            0.0,
+            None,
+            HOST,
+            0,
+            &[("name", "\"ggpu-serve host\"".into())],
+        );
+        ev(
+            "process_name",
+            'M',
+            0.0,
+            None,
+            DEV,
+            0,
+            &[("name", "\"device\"".into())],
+        );
+        ev(
+            "thread_name",
+            'M',
+            0.0,
+            None,
+            HOST,
+            TID_QUEUE,
+            &[("name", "\"admission queue\"".into())],
+        );
+        ev(
+            "thread_name",
+            'M',
+            0.0,
+            None,
+            DEV,
+            0,
+            &[("name", "\"pcie (memcpy)\"".into())],
+        );
+
+        // --- host: queue-depth counter track -------------------------------
+        for e in &self.events {
+            let depth = match &e.kind {
+                ServeEventKind::Admit { queue_depth, .. }
+                | ServeEventKind::Shed { queue_depth, .. }
+                | ServeEventKind::BatchAssign { queue_depth, .. } => *queue_depth,
+                _ => continue,
+            };
+            ev(
+                "queue_depth",
+                'C',
+                us(e.cycle),
+                None,
+                HOST,
+                TID_QUEUE,
+                &[("jobs", format!("{depth}"))],
+            );
+        }
+
+        // --- host: one row per worker (batch spans + recovery instants) ----
+        let mut workers: BTreeSet<usize> = BTreeSet::new();
+        let mut batch_worker: BTreeMap<u64, usize> = BTreeMap::new();
+        for span in &self.spans {
+            workers.insert(span.worker);
+            batch_worker.insert(span.batch, span.worker);
+            let start = span.start_cycle.unwrap_or(span.launch_cycle);
+            let name = format!(
+                "batch {} {} x{}{}",
+                span.batch,
+                span.shape,
+                span.jobs,
+                if span.faulted { " FAULTED" } else { "" }
+            );
+            ev(
+                &name,
+                'X',
+                us(span.launch_cycle),
+                Some(us(span.end_cycle.saturating_sub(span.launch_cycle))),
+                HOST,
+                TID_WORKER0 + span.worker as u64,
+                &[
+                    ("batch", format!("{}", span.batch)),
+                    ("grid", format!("{}", span.grid)),
+                    ("stream", format!("{}", span.stream)),
+                    ("attempt", format!("{}", span.attempt)),
+                    ("jobs", format!("{}", span.jobs)),
+                    ("launch_cycle", format!("{}", span.launch_cycle)),
+                    ("start_cycle", format!("{start}")),
+                    ("end_cycle", format!("{}", span.end_cycle)),
+                    ("faulted", format!("{}", span.faulted)),
+                ],
+            );
+        }
+        for e in &self.events {
+            match &e.kind {
+                ServeEventKind::StreamReset {
+                    worker,
+                    old_stream,
+                    new_stream,
+                } => {
+                    workers.insert(*worker);
+                    ev(
+                        &format!("stream reset {} -> {}", old_stream.0, new_stream.0),
+                        'i',
+                        us(e.cycle),
+                        None,
+                        HOST,
+                        TID_WORKER0 + *worker as u64,
+                        &[
+                            ("old_stream", format!("{}", old_stream.0)),
+                            ("new_stream", format!("{}", new_stream.0)),
+                        ],
+                    );
+                }
+                ServeEventKind::Retry {
+                    batch,
+                    attempt,
+                    not_before_round,
+                } => {
+                    let worker = batch_worker.get(batch).copied().unwrap_or(0);
+                    ev(
+                        &format!("retry batch {batch}"),
+                        'i',
+                        us(e.cycle),
+                        None,
+                        HOST,
+                        TID_WORKER0 + worker as u64,
+                        &[
+                            ("attempt", format!("{attempt}")),
+                            ("not_before_round", format!("{not_before_round}")),
+                        ],
+                    );
+                }
+                ServeEventKind::Split { batch, left, right } => {
+                    let worker = batch_worker.get(batch).copied().unwrap_or(0);
+                    ev(
+                        &format!("split batch {batch} -> {left}+{right}"),
+                        'i',
+                        us(e.cycle),
+                        None,
+                        HOST,
+                        TID_WORKER0 + worker as u64,
+                        &[("batch", format!("{batch}"))],
+                    );
+                }
+                _ => {}
+            }
+        }
+        for w_idx in &workers {
+            ev(
+                "thread_name",
+                'M',
+                0.0,
+                None,
+                HOST,
+                TID_WORKER0 + *w_idx as u64,
+                &[("name", format!("\"worker {w_idx}\""))],
+            );
+        }
+
+        // --- host: one row per tenant (request lifecycles) -----------------
+        let mut tenants: BTreeSet<u32> = BTreeSet::new();
+        for t in &self.trails {
+            tenants.insert(t.tenant.0);
+            let mut args = vec![
+                ("job", format!("{}", t.job.0)),
+                ("shape", format!("\"{}\"", escape(&t.shape.to_string()))),
+                ("priority", format!("{}", t.priority.0)),
+                ("outcome", format!("\"{}\"", t.outcome.tag())),
+                ("submit_cycle", format!("{}", t.submit_cycle)),
+                ("complete_cycle", format!("{}", t.complete_cycle)),
+                ("e2e_cycles", format!("{}", t.e2e)),
+            ];
+            if let Some(g) = t.grids.last() {
+                args.push(("grid", format!("{}", g.grid)));
+                args.push(("stream", format!("{}", g.stream)));
+            }
+            ev(
+                &format!("job {} [{}]", t.job.0, t.outcome.tag()),
+                'X',
+                us(t.submit_cycle),
+                Some(us(t.e2e)),
+                HOST,
+                TID_TENANT0 + t.tenant.0 as u64,
+                &args,
+            );
+        }
+        for t in &tenants {
+            ev(
+                "thread_name",
+                'M',
+                0.0,
+                None,
+                HOST,
+                TID_TENANT0 + *t as u64,
+                &[("name", format!("\"tenant {t}\""))],
+            );
+        }
+
+        // --- device: one row per stream from kernel records ----------------
+        let mut streams: BTreeSet<usize> = BTreeSet::new();
+        for r in &self.device_records {
+            streams.insert(r.stream);
+            ev(
+                &format!("{} #{}", r.kernel, r.grid),
+                'X',
+                us(r.start_cycle),
+                Some(us(r.retire_cycle.saturating_sub(r.start_cycle))),
+                DEV,
+                1 + r.stream as u64,
+                &[
+                    ("grid", format!("{}", r.grid)),
+                    ("kernel", format!("\"{}\"", escape(&r.kernel))),
+                    ("stream", format!("{}", r.stream)),
+                    ("ctas", format!("{}", r.ctas)),
+                    ("launch_cycle", format!("{}", r.launch_cycle)),
+                    ("retire_cycle", format!("{}", r.retire_cycle)),
+                ],
+            );
+        }
+        // Faults, watchdog fires, and PCIe transfers from the device trace.
+        for e in &self.device_events {
+            match &e.kind {
+                TraceEventKind::Memcpy { dir, bytes, cycles } => {
+                    ev(
+                        &format!("memcpy_{dir}"),
+                        'X',
+                        us(e.cycle),
+                        Some(us(*cycles)),
+                        DEV,
+                        0,
+                        &[("bytes", format!("{bytes}"))],
+                    );
+                }
+                TraceEventKind::Fault {
+                    kind,
+                    kernel,
+                    stream,
+                } => {
+                    streams.insert(*stream);
+                    ev(
+                        &format!("FAULT: {kind}"),
+                        'i',
+                        us(e.cycle),
+                        None,
+                        DEV,
+                        1 + *stream as u64,
+                        &[
+                            ("kernel", format!("\"{}\"", escape(kernel))),
+                            ("stream", format!("{stream}")),
+                        ],
+                    );
+                }
+                TraceEventKind::Deadlock {
+                    stalled_for,
+                    stream,
+                } => {
+                    streams.insert(*stream);
+                    ev(
+                        "DEADLOCK (watchdog)",
+                        'i',
+                        us(e.cycle),
+                        None,
+                        DEV,
+                        1 + *stream as u64,
+                        &[("stalled_for", format!("{stalled_for}"))],
+                    );
+                }
+                _ => {}
+            }
+        }
+        for s in &streams {
+            ev(
+                "thread_name",
+                'M',
+                0.0,
+                None,
+                DEV,
+                1 + *s as u64,
+                &[("name", format!("\"stream {s}\""))],
+            );
+        }
+
+        let mut doc = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        doc.push_str(&out.join(","));
+        doc.push_str("]}");
+        doc
+    }
+}
+
+/// Serialize one trail as a JSON object.
+fn trail_json(t: &JobTrail) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.u64("job", t.job.0)
+        .u64("tenant", t.tenant.0 as u64)
+        .str("shape", &t.shape.to_string())
+        .u64("priority", t.priority.0 as u64)
+        .str("outcome", t.outcome.tag())
+        .u64("submit_cycle", t.submit_cycle)
+        .opt_u64("batch_assign_cycle", t.batch_assign_cycle)
+        .opt_u64("first_launch_cycle", t.first_launch_cycle)
+        .u64("complete_cycle", t.complete_cycle)
+        .opt_u64("device_exec_cycles", t.device_exec)
+        .u64("e2e_cycles", t.e2e);
+    w.begin_arr_key("grids");
+    for g in &t.grids {
+        w.elem_raw(&format!(
+            "{{\"grid\":{},\"stream\":{},\"worker\":{},\"launch_cycle\":{}}}",
+            g.grid, g.stream, g.worker, g.launch_cycle
+        ));
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}

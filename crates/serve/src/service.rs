@@ -14,7 +14,9 @@ use crate::error::{AdmitError, ServiceDead};
 use crate::job::{JobId, JobKind, JobOutcome, JobSpec, Priority, Tenant};
 use crate::metrics::ServeMetrics;
 use crate::queue::{AdmissionQueue, QueuedJob};
+use crate::report::ServeReport;
 use crate::shape::{shape_of, ShapeKey};
+use crate::telemetry::{OutcomeTag, RejectReason, ServeTelemetry};
 use crate::ServeConfig;
 
 /// A compiled pairwise pipeline: one kernel per length bucket.
@@ -65,8 +67,11 @@ pub struct Service {
     inflight: HashMap<Tenant, usize>,
     outcomes: BTreeMap<JobId, JobOutcome>,
     metrics: ServeMetrics,
+    telemetry: ServeTelemetry,
     round: u64,
     next_job: u64,
+    next_batch: u64,
+    records_seen: usize,
 }
 
 /// Largest thread count (a power of two, at most `cap`) whose shared-
@@ -93,6 +98,10 @@ impl Service {
         gcfg.kernel_records = true;
         gcfg.flush_between_kernels = true;
         gcfg.sample_interval_cycles = 0;
+        // The unified host+device timeline needs the stream-annotated
+        // device event trace; the buffer is bounded, so this is a memory
+        // cap, not a correctness knob.
+        gcfg.trace = true;
         let smem = gcfg.sm.smem_bytes;
 
         let mut program = Program::new();
@@ -197,6 +206,7 @@ impl Service {
             metrics.streams_created += 1;
         }
 
+        let telemetry = ServeTelemetry::new(cfg.telemetry_events);
         Ok(Service {
             cfg,
             gpu,
@@ -209,8 +219,11 @@ impl Service {
             inflight: HashMap::new(),
             outcomes: BTreeMap::new(),
             metrics,
+            telemetry,
             round: 0,
             next_job: 0,
+            next_batch: 0,
+            records_seen: 0,
         })
     }
 
@@ -225,16 +238,20 @@ impl Service {
         kind: JobKind,
     ) -> Result<JobId, AdmitError> {
         self.metrics.submitted += 1;
+        let cycle = self.gpu.cycle();
+        self.telemetry.on_submit(cycle, tenant, priority);
         let shape = match shape_of(&kind, &self.cfg) {
             Ok(s) => s,
             Err(e) => {
                 self.metrics.rejected_shape += 1;
+                self.telemetry.on_reject(cycle, tenant, RejectReason::Shape);
                 return Err(e);
             }
         };
         let in_flight = self.inflight.get(&tenant).copied().unwrap_or(0);
         if in_flight >= self.cfg.tenant_quota {
             self.metrics.rejected_quota += 1;
+            self.telemetry.on_reject(cycle, tenant, RejectReason::Quota);
             return Err(AdmitError::QuotaExceeded {
                 tenant,
                 in_flight,
@@ -245,10 +262,18 @@ impl Service {
             match self.queue.shed_for(priority) {
                 Some(victim) => {
                     self.metrics.shed += 1;
+                    self.telemetry.on_shed(
+                        cycle,
+                        victim.spec.id,
+                        victim.spec.tenant,
+                        self.queue.len() as u64,
+                    );
                     self.finish(victim.spec.id, victim.spec.tenant, JobOutcome::Shed);
                 }
                 None => {
                     self.metrics.rejected_overload += 1;
+                    self.telemetry
+                        .on_reject(cycle, tenant, RejectReason::Overload);
                     let per_round = (self.workers.len() * self.cfg.max_batch.max(1)) as u64;
                     return Err(AdmitError::Overloaded {
                         retry_after_rounds: (self.queue.len() as u64 / per_round.max(1)).max(1),
@@ -270,6 +295,9 @@ impl Service {
             },
             shape,
         });
+        self.metrics.gauge_queue_depth(self.queue.len() as u64);
+        self.telemetry
+            .on_admit(cycle, id, tenant, shape, priority, self.queue.len() as u64);
         Ok(id)
     }
 
@@ -281,6 +309,7 @@ impl Service {
     pub fn run_round(&mut self) -> Result<(), ServiceDead> {
         self.round += 1;
         self.metrics.rounds += 1;
+        self.telemetry.set_round(self.round);
         let mut work: Vec<Batch> = Vec::new();
         let mut still_parked = Vec::new();
         for b in std::mem::take(&mut self.parked) {
@@ -296,19 +325,43 @@ impl Service {
             if jobs.is_empty() {
                 break;
             }
-            work.push(Batch::new(jobs));
+            let id = self.next_batch;
+            self.next_batch += 1;
+            let cycle = self.gpu.cycle();
+            let depth = self.queue.len() as u64;
+            for job in &jobs {
+                self.telemetry
+                    .on_batch_assign(cycle, job.spec.id, id, depth);
+            }
+            work.push(Batch::new(id, jobs));
         }
+        self.metrics.gauge_queue_depth(self.queue.len() as u64);
         if work.is_empty() {
+            self.metrics
+                .gauge_inflight_batches(self.parked.len() as u64);
             return Ok(());
         }
+        self.metrics
+            .gauge_inflight_batches((work.len() + self.parked.len()) as u64);
 
-        let mut launched: Vec<(usize, Batch)> = Vec::new();
+        let mut launched: Vec<(usize, Batch, usize)> = Vec::new();
         let mut failed: Vec<(Batch, SimError)> = Vec::new();
         for (w, batch) in work.into_iter().enumerate() {
             match self.upload_and_launch(w, &batch) {
-                Ok(()) => {
+                Ok(grid) => {
                     self.metrics.batches_launched += 1;
-                    launched.push((w, batch));
+                    let members: Vec<JobId> = batch.jobs.iter().map(|j| j.spec.id).collect();
+                    let span = self.telemetry.on_launch(
+                        self.gpu.cycle(),
+                        batch.id,
+                        w,
+                        self.workers[w].stream,
+                        grid,
+                        batch.shape,
+                        batch.attempts + 1,
+                        &members,
+                    );
+                    launched.push((w, batch, span));
                 }
                 // Host-side failure (e.g. a dropped PCIe transfer):
                 // nothing reached the device for this batch.
@@ -322,15 +375,20 @@ impl Service {
                 error: e.to_string(),
             })?;
         }
-        for (w, batch) in launched {
+        self.ingest_records();
+        for (w, batch, span) in launched {
             let stream = self.workers[w].stream;
             if let Some(err) = self.gpu.stream_fault(stream).cloned() {
                 // Recover the stream (proves the device survives), then
                 // retire it — retries go out on a fresh stream.
+                let cycle = self.gpu.cycle();
+                self.telemetry.on_span_faulted(span, cycle);
                 let _ = self.gpu.reset_stream(stream);
                 self.metrics.stream_resets += 1;
                 self.workers[w].stream = self.gpu.create_stream();
                 self.metrics.streams_created += 1;
+                self.telemetry
+                    .on_stream_reset(cycle, w, stream, self.workers[w].stream);
                 failed.push((batch, err));
             } else {
                 match self.readback(w, &batch) {
@@ -347,7 +405,19 @@ impl Service {
         for (batch, err) in failed {
             self.batch_failed(batch, err);
         }
+        self.metrics
+            .gauge_inflight_batches(self.parked.len() as u64);
         Ok(())
+    }
+
+    /// Feed newly retired [`ggpu_sim::KernelRecord`]s to the telemetry
+    /// layer (grid start/retire joins for spans and device-exec stage).
+    fn ingest_records(&mut self) {
+        let records = self.gpu.kernel_records();
+        if records.len() > self.records_seen {
+            self.telemetry.ingest_records(&records[self.records_seen..]);
+            self.records_seen = records.len();
+        }
     }
 
     /// Drive rounds until no queued or parked work remains (or the round
@@ -414,11 +484,42 @@ impl Service {
         self.gpu.kernel_records()
     }
 
+    /// Snapshot everything the serving layer observed — counters, the
+    /// latency histogram forest, the typed host event stream, batch
+    /// spans, request trails, and the device's stream-annotated trace —
+    /// as one exportable [`ServeReport`]. Taking a report does not drain
+    /// anything; it can be called repeatedly.
+    pub fn report(&mut self) -> ServeReport {
+        self.ingest_records();
+        ServeReport {
+            metrics: self.metrics,
+            clock_ghz: self.cfg.gpu.clock_ghz,
+            global: self.telemetry.global.clone(),
+            per_tenant: self.telemetry.per_tenant.clone(),
+            per_shape: self.telemetry.per_shape.clone(),
+            per_outcome: vec![
+                ("done", self.telemetry.per_outcome[0].clone()),
+                ("shed", self.telemetry.per_outcome[1].clone()),
+                ("deadline_exceeded", self.telemetry.per_outcome[2].clone()),
+                ("failed", self.telemetry.per_outcome[3].clone()),
+            ],
+            events: self.telemetry.events().to_vec(),
+            events_dropped: self.telemetry.dropped(),
+            spans: self.telemetry.spans().to_vec(),
+            trails: self.telemetry.trails().to_vec(),
+            in_flight: self.telemetry.in_flight() as u64,
+            device_events: self.gpu.trace_events().to_vec(),
+            device_records: self.gpu.kernel_records().to_vec(),
+        }
+    }
+
     /// Record a terminal outcome exactly once and release quota.
     fn finish(&mut self, id: JobId, tenant: Tenant, outcome: JobOutcome) {
         if let Some(n) = self.inflight.get_mut(&tenant) {
             *n = n.saturating_sub(1);
         }
+        self.telemetry
+            .on_complete(self.gpu.cycle(), id, tenant, OutcomeTag::of(&outcome));
         let prev = self.outcomes.insert(id, outcome);
         debug_assert!(prev.is_none(), "outcome recorded twice for {id}");
     }
@@ -442,18 +543,24 @@ impl Service {
     /// would trade latency for collapse.
     fn batch_failed(&mut self, mut batch: Batch, err: SimError) {
         let deadline = matches!(err, SimError::DeadlineExceeded { .. });
+        let cycle = self.gpu.cycle();
         batch.attempts += 1;
         if !deadline && batch.attempts < self.cfg.max_attempts.max(1) {
             self.metrics.retries += 1;
             batch.not_before = self.round + self.backoff(batch.attempts);
+            self.telemetry
+                .on_retry(cycle, batch.id, batch.attempts, batch.not_before);
             self.parked.push(batch);
             return;
         }
         if batch.jobs.len() > 1 && self.queue.len() < self.cfg.queue_capacity {
             self.metrics.splits += 1;
             let right = batch.jobs.split_off(batch.jobs.len() / 2);
-            for half in [batch.jobs, right] {
-                let mut b = Batch::new(half);
+            let (left_id, right_id) = (self.next_batch, self.next_batch + 1);
+            self.next_batch += 2;
+            self.telemetry.on_split(cycle, batch.id, left_id, right_id);
+            for (id, half) in [(left_id, batch.jobs), (right_id, right)] {
+                let mut b = Batch::new(id, half);
                 b.not_before = self.round + 1;
                 self.parked.push(b);
             }
@@ -472,9 +579,10 @@ impl Service {
     }
 
     /// Upload a batch into worker `w`'s slabs and launch its fused grid
-    /// on the worker's stream. Any error leaves the device clean — the
-    /// grid was not enqueued.
-    fn upload_and_launch(&mut self, w: usize, batch: &Batch) -> Result<(), SimError> {
+    /// on the worker's stream, returning the device grid handle (the
+    /// telemetry join key into kernel records and the device trace). Any
+    /// error leaves the device clean — the grid was not enqueued.
+    fn upload_and_launch(&mut self, w: usize, batch: &Batch) -> Result<u64, SimError> {
         let n = batch.jobs.len() as u64;
         let worker = &self.workers[w];
         let (stream, in_a, in_b, in_c, out) = (
@@ -488,7 +596,7 @@ impl Service {
             stream,
             deadline: batch.cycle_budget(self.cfg.default_deadline),
         };
-        match batch.shape {
+        let grid = match batch.shape {
             ShapeKey::Pairwise { bucket } => {
                 let pipe = self
                     .dp
@@ -516,7 +624,7 @@ impl Service {
                         0,
                     ],
                     opts,
-                )?;
+                )?
             }
             ShapeKey::Fm => {
                 let pipe = self.fm.as_ref().expect("FM shape admitted without pipe");
@@ -545,7 +653,7 @@ impl Service {
                         0,
                     ],
                     opts,
-                )?;
+                )?
             }
             ShapeKey::PairHmm => {
                 let pipe = self
@@ -573,10 +681,10 @@ impl Service {
                         0,
                     ],
                     opts,
-                )?;
+                )?
             }
-        }
-        Ok(())
+        };
+        Ok(grid)
     }
 
     /// Launch shape for an `n`-job batch: enough CTAs to spread work, a

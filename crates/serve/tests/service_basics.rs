@@ -219,6 +219,84 @@ fn quota_and_shape_rejections_are_typed() {
 }
 
 #[test]
+fn metrics_conserve_submissions_and_track_saturation() {
+    // Exercise every admission gate — overload, quota, shape, shedding —
+    // then drain, and check the ServeMetrics conservation invariants:
+    //   submitted == admitted + rejected_overload + rejected_quota
+    //                + rejected_shape
+    //   admitted  == completed + failed + deadline_exceeded + shed
+    let mut cfg = ServeConfig::test_small();
+    cfg.queue_capacity = 4;
+    cfg.tenant_quota = 3;
+    let mut svc = Service::new(cfg).expect("build service");
+    let pair = |p: u8| JobKind::Pairwise {
+        query: vec![p % 4; 8],
+        target: vec![(p + 1) % 4; 8],
+    };
+    // Tenant 0 exhausts its quota (3 admitted, 4th refused).
+    for _ in 0..3 {
+        svc.submit(Tenant(0), Priority(1), None, pair(0))
+            .expect("admit within quota");
+    }
+    assert!(matches!(
+        svc.submit(Tenant(0), Priority(1), None, pair(0)),
+        Err(AdmitError::QuotaExceeded { .. })
+    ));
+    // Tenant 1 fills the queue (1 more slot), then overloads it.
+    svc.submit(Tenant(1), Priority(1), None, pair(1))
+        .expect("fill the last slot");
+    assert!(matches!(
+        svc.submit(Tenant(1), Priority(1), None, pair(1)),
+        Err(AdmitError::Overloaded { .. })
+    ));
+    // A higher-priority arrival sheds the lowest-priority queued job.
+    svc.submit(Tenant(2), Priority(9), None, pair(2))
+        .expect("high priority must shed its way in");
+    // A malformed job is refused by shape.
+    assert!(matches!(
+        svc.submit(
+            Tenant(2),
+            Priority(0),
+            None,
+            JobKind::Pairwise {
+                query: vec![0; 1000],
+                target: vec![1; 1000],
+            },
+        ),
+        Err(AdmitError::TooLarge { .. })
+    ));
+    svc.run_until_idle(100).expect("no device-wide fault");
+    assert_eq!(svc.backlog(), 0);
+
+    let m = svc.metrics();
+    assert_eq!(
+        m.submitted,
+        m.admitted + m.rejected_overload + m.rejected_quota + m.rejected_shape,
+        "admission is not total: {m:?}"
+    );
+    assert_eq!(
+        m.admitted,
+        m.completed + m.failed + m.deadline_exceeded + m.shed,
+        "a drained service must account every admitted job: {m:?}"
+    );
+    assert_eq!(m.submitted, 8);
+    assert_eq!(m.admitted, 5);
+    assert_eq!(m.rejected_quota, 1);
+    assert_eq!(m.rejected_overload, 1);
+    assert_eq!(m.rejected_shape, 1);
+    assert_eq!(m.shed, 1);
+    // Every admitted job reached exactly one terminal outcome.
+    assert_eq!(svc.take_outcomes().len(), m.admitted as usize);
+
+    // Saturation gauges: the queue hit its bound while filling, and both
+    // gauges return to zero once drained.
+    assert_eq!(m.queue_depth_hwm, 4, "queue saturation went unrecorded");
+    assert_eq!(m.queue_depth, 0);
+    assert!(m.inflight_batches_hwm >= 1);
+    assert_eq!(m.inflight_batches, 0);
+}
+
+#[test]
 fn mixed_shapes_batch_separately_and_all_complete() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(44);
     let genome = random_genome(400, &mut rng);

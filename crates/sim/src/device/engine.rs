@@ -197,6 +197,7 @@ impl Gpu {
             if self.trace_on() {
                 self.emit(TraceEventKind::Deadlock {
                     stalled_for: stalled,
+                    stream: self.active_stream.unwrap_or(0),
                 });
             }
             self.kill_active_stream(err.clone(), lanes);
@@ -337,6 +338,7 @@ impl Gpu {
                     self.emit(TraceEventKind::Fault {
                         kind: t.kind,
                         kernel: self.kernel_name(t.kernel),
+                        stream: self.active_stream.unwrap_or(0),
                     });
                 }
             }

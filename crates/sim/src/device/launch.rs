@@ -219,6 +219,7 @@ impl Gpu {
                 kernel: self.kernel_name(kernel),
                 ctas: dims.num_ctas(),
                 threads_per_cta: dims.threads_per_cta(),
+                stream,
             });
         }
         Ok(handle)
@@ -378,16 +379,21 @@ impl Gpu {
                 failures += 1;
             }
         }
-        let mut started = false;
+        let mut started = None;
         if let Some(g) = self.grids.get_mut(&handle) {
             g.next_cta = next_cta;
             if g.start_cycle.is_none() && next_cta > 0 {
                 g.start_cycle = Some(self.cycle);
-                started = true;
+                started = Some(g.stream);
             }
         }
-        if started && self.trace_on() {
-            self.emit(TraceEventKind::KernelStart { grid: handle });
+        if let Some(stream) = started {
+            if self.trace_on() {
+                self.emit(TraceEventKind::KernelStart {
+                    grid: handle,
+                    stream,
+                });
+            }
         }
     }
 
@@ -460,7 +466,11 @@ impl Gpu {
                 cycle: self.cycle,
             })));
             if self.trace_on() {
-                self.emit(TraceEventKind::Fault { kind, kernel });
+                self.emit(TraceEventKind::Fault {
+                    kind,
+                    kernel,
+                    stream,
+                });
             }
             return;
         }
@@ -510,6 +520,7 @@ impl Gpu {
                 depth,
                 ctas: dims.num_ctas(),
                 threads_per_cta: dims.threads_per_cta(),
+                stream,
             });
         }
     }
@@ -544,7 +555,10 @@ impl Gpu {
             });
         }
         if self.trace_on() {
-            self.emit(TraceEventKind::KernelRetire { grid: handle });
+            self.emit(TraceEventKind::KernelRetire {
+                grid: handle,
+                stream: grid.stream,
+            });
         }
         if let Some((sm, slot, parent_handle)) = grid.parent {
             lanes

@@ -44,6 +44,8 @@ pub enum TraceEventKind {
         ctas: u64,
         /// Threads per CTA.
         threads_per_cta: u32,
+        /// Owning stream (0 is the default stream).
+        stream: usize,
     },
     /// A device-side (CDP) child launch was enqueued.
     CdpEnqueue {
@@ -59,16 +61,22 @@ pub enum TraceEventKind {
         ctas: u64,
         /// Threads per CTA.
         threads_per_cta: u32,
+        /// Owning stream (inherited from the parent grid).
+        stream: usize,
     },
     /// A grid dispatched its first CTA (launch overhead elapsed).
     KernelStart {
         /// Grid handle.
         grid: u64,
+        /// Owning stream.
+        stream: usize,
     },
     /// A grid's last CTA completed.
     KernelRetire {
         /// Grid handle.
         grid: u64,
+        /// Owning stream.
+        stream: usize,
     },
     /// A CDP child retired and unparked its parent's pending-children count.
     CdpDrain {
@@ -94,17 +102,21 @@ pub enum TraceEventKind {
         /// Byte address of the filled line.
         addr: u64,
     },
-    /// A guest fault put the device into the sticky fault state.
+    /// A guest fault poisoned its owning stream (device-wide on stream 0).
     Fault {
         /// Architectural fault class.
         kind: FaultKind,
         /// Name of the faulting kernel.
         kernel: String,
+        /// Stream the fault landed on (0 is device-wide).
+        stream: usize,
     },
     /// The forward-progress watchdog fired.
     Deadlock {
         /// Consecutive cycles without forward progress.
         stalled_for: u64,
+        /// Stream of the grid that was active when the watchdog fired.
+        stream: usize,
     },
 }
 
@@ -157,11 +169,13 @@ impl TraceEvent {
                 kernel,
                 ctas,
                 threads_per_cta,
+                stream,
             } => {
                 w.u64("grid", *grid)
                     .str("kernel", kernel)
                     .u64("ctas", *ctas)
-                    .u64("threads_per_cta", *threads_per_cta as u64);
+                    .u64("threads_per_cta", *threads_per_cta as u64)
+                    .u64("stream", *stream as u64);
             }
             TraceEventKind::CdpEnqueue {
                 grid,
@@ -170,16 +184,19 @@ impl TraceEvent {
                 depth,
                 ctas,
                 threads_per_cta,
+                stream,
             } => {
                 w.u64("grid", *grid)
                     .str("kernel", kernel)
                     .u64("parent", *parent)
                     .u64("depth", *depth as u64)
                     .u64("ctas", *ctas)
-                    .u64("threads_per_cta", *threads_per_cta as u64);
+                    .u64("threads_per_cta", *threads_per_cta as u64)
+                    .u64("stream", *stream as u64);
             }
-            TraceEventKind::KernelStart { grid } | TraceEventKind::KernelRetire { grid } => {
-                w.u64("grid", *grid);
+            TraceEventKind::KernelStart { grid, stream }
+            | TraceEventKind::KernelRetire { grid, stream } => {
+                w.u64("grid", *grid).u64("stream", *stream as u64);
             }
             TraceEventKind::CdpDrain { parent, child } => {
                 w.u64("parent", *parent).u64("child", *child);
@@ -192,11 +209,21 @@ impl TraceEvent {
             TraceEventKind::CacheFill { partition, addr } => {
                 w.u64("partition", *partition).u64("addr", *addr);
             }
-            TraceEventKind::Fault { kind, kernel } => {
-                w.str("kind", &kind.to_string()).str("kernel", kernel);
+            TraceEventKind::Fault {
+                kind,
+                kernel,
+                stream,
+            } => {
+                w.str("kind", &kind.to_string())
+                    .str("kernel", kernel)
+                    .u64("stream", *stream as u64);
             }
-            TraceEventKind::Deadlock { stalled_for } => {
-                w.u64("stalled_for", *stalled_for);
+            TraceEventKind::Deadlock {
+                stalled_for,
+                stream,
+            } => {
+                w.u64("stalled_for", *stalled_for)
+                    .u64("stream", *stream as u64);
             }
         }
         w.end_obj();
@@ -353,6 +380,7 @@ pub fn chrome_trace_events(
         threads: u32,
         start: Option<u64>,
         launch_cycle: u64,
+        stream: usize,
     }
     let mut open: Vec<(u64, Open)> = Vec::new();
     let find = |open: &mut Vec<(u64, Open)>, grid: u64| -> Option<usize> {
@@ -368,6 +396,7 @@ pub fn chrome_trace_events(
                 kernel,
                 ctas,
                 threads_per_cta,
+                stream,
             } => {
                 open.push((
                     *grid,
@@ -378,6 +407,7 @@ pub fn chrome_trace_events(
                         threads: *threads_per_cta,
                         start: None,
                         launch_cycle: ev.cycle,
+                        stream: *stream,
                     },
                 ));
             }
@@ -387,6 +417,7 @@ pub fn chrome_trace_events(
                 depth,
                 ctas,
                 threads_per_cta,
+                stream,
                 ..
             } => {
                 max_depth = max_depth.max(*depth);
@@ -399,15 +430,16 @@ pub fn chrome_trace_events(
                         threads: *threads_per_cta,
                         start: None,
                         launch_cycle: ev.cycle,
+                        stream: *stream,
                     },
                 ));
             }
-            TraceEventKind::KernelStart { grid } => {
+            TraceEventKind::KernelStart { grid, .. } => {
                 if let Some(i) = find(&mut open, *grid) {
                     open[i].1.start = Some(ev.cycle);
                 }
             }
-            TraceEventKind::KernelRetire { grid } => {
+            TraceEventKind::KernelRetire { grid, .. } => {
                 if let Some(i) = find(&mut open, *grid) {
                     let (g, o) = open.remove(i);
                     let start = o.start.unwrap_or(o.launch_cycle);
@@ -424,6 +456,7 @@ pub fn chrome_trace_events(
                             ("ctas", format!("{}", o.ctas)),
                             ("threads_per_cta", format!("{}", o.threads)),
                             ("depth", format!("{}", o.depth)),
+                            ("stream", format!("{}", o.stream)),
                             ("launch_cycle", format!("{}", o.launch_cycle)),
                             ("retire_cycle", format!("{}", ev.cycle)),
                         ],
@@ -458,7 +491,11 @@ pub fn chrome_trace_events(
                     ],
                 );
             }
-            TraceEventKind::Fault { kind, kernel } => {
+            TraceEventKind::Fault {
+                kind,
+                kernel,
+                stream,
+            } => {
                 chrome_event(
                     out,
                     &format!("FAULT: {kind}"),
@@ -467,10 +504,16 @@ pub fn chrome_trace_events(
                     None,
                     pid,
                     0,
-                    &[("kernel", format!("\"{}\"", escape(kernel)))],
+                    &[
+                        ("kernel", format!("\"{}\"", escape(kernel))),
+                        ("stream", format!("{stream}")),
+                    ],
                 );
             }
-            TraceEventKind::Deadlock { stalled_for } => {
+            TraceEventKind::Deadlock {
+                stalled_for,
+                stream,
+            } => {
                 chrome_event(
                     out,
                     "DEADLOCK (watchdog)",
@@ -479,7 +522,10 @@ pub fn chrome_trace_events(
                     None,
                     pid,
                     0,
-                    &[("stalled_for", format!("{stalled_for}"))],
+                    &[
+                        ("stalled_for", format!("{stalled_for}")),
+                        ("stream", format!("{stream}")),
+                    ],
                 );
             }
         }
@@ -547,9 +593,15 @@ mod tests {
     fn buffer_caps_and_keeps_terminal_events() {
         let mut b = TraceBuffer::new(2);
         for i in 0..5 {
-            b.event(&ev(i, TraceEventKind::KernelStart { grid: i }));
+            b.event(&ev(i, TraceEventKind::KernelStart { grid: i, stream: 0 }));
         }
-        b.event(&ev(9, TraceEventKind::Deadlock { stalled_for: 100 }));
+        b.event(&ev(
+            9,
+            TraceEventKind::Deadlock {
+                stalled_for: 100,
+                stream: 0,
+            },
+        ));
         assert_eq!(b.events().len(), 3);
         assert_eq!(b.dropped(), 3);
         assert!(b.events().last().expect("non-empty").kind.is_terminal());
@@ -566,6 +618,7 @@ mod tests {
                 depth: 1,
                 ctas: 2,
                 threads_per_cta: 32,
+                stream: 4,
             },
         );
         let v = Json::parse(&e.to_json()).expect("well-formed");
@@ -573,6 +626,7 @@ mod tests {
         assert_eq!(v.get("event").and_then(Json::as_str), Some("cdp_enqueue"));
         assert_eq!(v.get("kernel").and_then(Json::as_str), Some("child \"k\""));
         assert_eq!(v.get("parent").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("stream").and_then(Json::as_u64), Some(4));
     }
 
     #[test]
@@ -585,9 +639,10 @@ mod tests {
                     kernel: "k".to_string(),
                     ctas: 4,
                     threads_per_cta: 64,
+                    stream: 0,
                 },
             ),
-            ev(100, TraceEventKind::KernelStart { grid: 1 }),
+            ev(100, TraceEventKind::KernelStart { grid: 1, stream: 0 }),
             ev(
                 150,
                 TraceEventKind::Memcpy {
@@ -596,7 +651,7 @@ mod tests {
                     cycles: 10,
                 },
             ),
-            ev(900, TraceEventKind::KernelRetire { grid: 1 }),
+            ev(900, TraceEventKind::KernelRetire { grid: 1, stream: 0 }),
         ];
         let json = chrome_trace_json(&[("dev".to_string(), log.as_slice())], 1.0);
         let v = Json::parse(&json).expect("well-formed chrome trace");
@@ -626,14 +681,16 @@ mod tests {
                     kernel: "bad".to_string(),
                     ctas: 1,
                     threads_per_cta: 32,
+                    stream: 2,
                 },
             ),
-            ev(10, TraceEventKind::KernelStart { grid: 1 }),
+            ev(10, TraceEventKind::KernelStart { grid: 1, stream: 2 }),
             ev(
                 50,
                 TraceEventKind::Fault {
                     kind: ggpu_isa::FaultKind::IllegalAddress,
                     kernel: "bad".to_string(),
+                    stream: 2,
                 },
             ),
         ];
