@@ -126,6 +126,75 @@ fn main() {
     print_slowest(&report, top);
     let tag = tag.as_deref().unwrap_or(scenario.tag());
     write_outputs(tag, seed, jobs, wave, &report, trace);
+    let violations = verify_invariants(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATED: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("invariants: conservation ok, histograms telescope");
+}
+
+/// Check the `ServeMetrics` conservation ledger and that the latency
+/// histograms telescope: every scoped breakdown (per tenant, per shape,
+/// per outcome) must sum back to the global end-to-end histogram, both
+/// in sample count and in total recorded cycles. Returns the list of
+/// violations; the process exits non-zero if any.
+fn verify_invariants(r: &ServeReport) -> Vec<String> {
+    let mut bad = Vec::new();
+    let m = r.metrics;
+    let rejected = m.rejected_overload + m.rejected_quota + m.rejected_shape;
+    if m.submitted != m.admitted + rejected {
+        bad.push(format!(
+            "conservation: submitted {} != admitted {} + rejected {}",
+            m.submitted, m.admitted, rejected
+        ));
+    }
+    let terminal = m.completed + m.failed + m.deadline_exceeded + m.shed;
+    if m.admitted != terminal {
+        bad.push(format!(
+            "conservation: admitted {} != terminal {} (completed {} + failed {} + deadline {} + shed {})",
+            m.admitted, terminal, m.completed, m.failed, m.deadline_exceeded, m.shed
+        ));
+    }
+    let global = (r.global.e2e.count(), r.global.e2e.sum());
+    if global.0 != terminal {
+        bad.push(format!(
+            "global e2e histogram has {} samples but {} requests terminated",
+            global.0, terminal
+        ));
+    }
+    let scopes: [(&str, (u64, u64)); 3] = [
+        (
+            "tenant",
+            r.per_tenant.iter().fold((0, 0), |(c, s), (_, st)| {
+                (c + st.e2e.count(), s + st.e2e.sum())
+            }),
+        ),
+        (
+            "shape",
+            r.per_shape.iter().fold((0, 0), |(c, s), (_, st)| {
+                (c + st.e2e.count(), s + st.e2e.sum())
+            }),
+        ),
+        (
+            "outcome",
+            r.per_outcome
+                .iter()
+                .fold((0, 0), |(c, s), (_, h)| (c + h.count(), s + h.sum())),
+        ),
+    ];
+    for (scope, (count, sum)) in scopes {
+        if (count, sum) != global {
+            bad.push(format!(
+                "per-{scope} e2e histograms do not telescope to global: \
+                 {count} samples / {sum} cycles vs {} / {}",
+                global.0, global.1
+            ));
+        }
+    }
+    bad
 }
 
 /// Build the scenario's service configuration. All three share the soak

@@ -302,6 +302,95 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} of an empty histogram");
+        }
+        assert!(h.nonzero_buckets().is_empty());
+        let v = Json::parse(&h.to_json()).expect("well-formed");
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        assert_eq!(h.count(), 1);
+        assert_eq!((h.min(), h.max()), (12_345, 12_345));
+        assert_eq!(h.mean(), 12_345.0);
+        // With one sample the clamp to [min, max] makes every quantile
+        // exact, not just within the sub-bucket bound.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 12_345, "p{p}");
+        }
+        assert_eq!(h.nonzero_buckets().len(), 1);
+    }
+
+    #[test]
+    fn top_bucket_saturates_at_u64_max() {
+        // Values at the top of the u64 range land in the final bucket,
+        // whose upper bound saturates to u64::MAX instead of overflowing.
+        let i = index_of(u64::MAX);
+        assert_eq!(bucket_high(i), u64::MAX);
+        let mut h = Histogram::new();
+        for v in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), u64::MAX / 2 + 1);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        // The sum saturates rather than wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        // Bucket occupancy still telescopes to the count.
+        let total: u64 = h.nonzero_buckets().iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total, 3);
+        for (low, high, _) in h.nonzero_buckets() {
+            assert!(low <= high, "bucket bounds stay ordered at the top");
+        }
+    }
+
+    #[test]
+    fn merge_of_disjoint_histograms_spans_both_ranges() {
+        let mut lo = Histogram::new();
+        for v in 10..20u64 {
+            lo.record(v);
+        }
+        let mut hi = Histogram::new();
+        for v in 1_000_000..1_000_010u64 {
+            hi.record(v);
+        }
+        // Merging the wider (hi) into the narrower (lo) forces the bucket
+        // vector to grow; counts, sum, and extrema all fold exactly.
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        assert_eq!(merged.count(), 20);
+        assert_eq!(merged.sum(), lo.sum() + hi.sum());
+        assert_eq!(merged.min(), 10);
+        assert_eq!(merged.max(), 1_000_009);
+        // Low quantiles come from the low range, high from the high range.
+        assert!(merged.percentile(25.0) < 20);
+        assert!(merged.percentile(90.0) >= 1_000_000);
+        // Merge is order-independent.
+        let mut other = hi.clone();
+        other.merge(&lo);
+        assert_eq!(merged, other);
+        // Merging an empty histogram is a no-op in both directions.
+        let before = merged.clone();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
     fn json_is_well_formed() {
         let mut h = Histogram::new();
         for v in [3, 900, 901, 40_000] {

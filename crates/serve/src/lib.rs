@@ -78,7 +78,14 @@ pub struct ServeConfig {
     /// it depends on (`stream_isolation`, `kernel_records`,
     /// `flush_between_kernels`) regardless of what this says.
     pub gpu: GpuConfig,
-    /// Concurrent workers (one stream + slab set each).
+    /// Devices in the node the service drives (each a full `gpu` clone;
+    /// `0` is treated as `1`). Workers round-robin over devices, so the
+    /// same submission stream shards across the node; the FM reference is
+    /// uploaded once and broadcast to peer devices over the inter-GPU
+    /// fabric.
+    pub n_devices: usize,
+    /// Concurrent workers (one stream + slab set each, pinned to device
+    /// `worker % n_devices`).
     pub workers: usize,
     /// Admission queue bound; beyond it submissions shed or are refused.
     pub queue_capacity: usize,
@@ -121,6 +128,7 @@ impl ServeConfig {
     pub fn test_small() -> Self {
         ServeConfig {
             gpu: GpuConfig::test_small(),
+            n_devices: 1,
             workers: 2,
             queue_capacity: 32,
             tenant_quota: 24,
@@ -136,5 +144,11 @@ impl ServeConfig {
             default_deadline: None,
             telemetry_events: 1 << 16,
         }
+    }
+
+    /// Spread the service over `n` devices (builder style).
+    pub fn with_devices(mut self, n: usize) -> Self {
+        self.n_devices = n;
+        self
     }
 }

@@ -2,21 +2,21 @@
 //! host event stream, batch spans, request trails, and a unified
 //! host+device Chrome-trace export.
 //!
-//! The Chrome trace renders two Perfetto processes on one cycle
-//! timeline: pid 0 holds the host rows (an admission-queue-depth counter
-//! track, one row per worker, one row per tenant) and pid 1 holds the
-//! device rows (one row per stream built from [`ggpu_sim::KernelRecord`]s,
-//! plus PCIe transfers and fault/watchdog instants from the
-//! stream-annotated device trace). Host events carry the grid handle and
-//! [`ggpu_sim::StreamId`], so a slow request can be followed from
-//! admission through queue wait, batch formation, stream launch, and the
-//! device kernel's start/retire — including retries and stream resets on
-//! a faulted path.
+//! The Chrome trace renders one Perfetto process per participant on one
+//! cycle timeline: pid 0 holds the host rows (an admission-queue-depth
+//! counter track, one row per worker, one row per tenant) and pid
+//! `1 + d` holds device `d`'s rows (one row per stream built from
+//! [`ggpu_sim::KernelRecord`]s, plus PCIe/P2P transfers and
+//! fault/watchdog instants from the stream-annotated device trace). Host
+//! events carry the grid handle and [`ggpu_sim::StreamId`], so a slow
+//! request can be followed from admission through queue wait, batch
+//! formation, stream launch, and the device kernel's start/retire —
+//! including retries and stream resets on a faulted path.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use ggpu_sim::json::{escape, num, JsonWriter};
-use ggpu_sim::{KernelRecord, TraceEvent, TraceEventKind};
+use ggpu_sim::{grid_device, KernelRecord, TraceEvent, TraceEventKind};
 
 use crate::histogram::{Histogram, LatencyStats};
 use crate::metrics::ServeMetrics;
@@ -50,10 +50,18 @@ pub struct ServeReport {
     pub trails: Vec<JobTrail>,
     /// Admitted jobs not yet terminal when the report was taken.
     pub in_flight: u64,
+    /// One log per device, in device-index order.
+    pub devices: Vec<DeviceLog>,
+}
+
+/// One device's observability slice of a [`ServeReport`].
+#[derive(Debug)]
+pub struct DeviceLog {
     /// The device's stream-annotated event trace.
-    pub device_events: Vec<TraceEvent>,
-    /// Per-grid device records (the join target of launch events).
-    pub device_records: Vec<KernelRecord>,
+    pub events: Vec<TraceEvent>,
+    /// Per-grid records (the join target of launch events); grid handles
+    /// encode the device ([`ggpu_sim::grid_device`]).
+    pub records: Vec<KernelRecord>,
 }
 
 impl ServeReport {
@@ -66,15 +74,34 @@ impl ServeReport {
         sorted
     }
 
+    /// Every device's trace events, flattened in device-index order.
+    pub fn device_events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.devices.iter().flat_map(|d| d.events.iter())
+    }
+
+    /// Every device's kernel records, flattened in device-index order.
+    pub fn device_records(&self) -> impl Iterator<Item = &KernelRecord> + '_ {
+        self.devices.iter().flat_map(|d| d.records.iter())
+    }
+
     /// Device events causally tied to a trail: events whose grid handle
-    /// matches one of the trail's launches, or whose stream matches one
-    /// of the trail's streams within the trail's lifetime window.
+    /// matches one of the trail's launches (grid handles are node-unique),
+    /// or whose stream matches one of the trail's streams *on the same
+    /// device* within the trail's lifetime window — stream ids repeat
+    /// across devices, so stream matches are scoped to the devices the
+    /// trail actually launched on.
     pub fn causal_device_events(&self, trail: &JobTrail) -> Vec<&TraceEvent> {
         let grids: BTreeSet<u64> = trail.grids.iter().map(|g| g.grid).collect();
-        let streams: BTreeSet<usize> = trail.grids.iter().map(|g| g.stream).collect();
-        self.device_events
+        let streams: BTreeSet<(usize, usize)> = trail
+            .grids
             .iter()
-            .filter(|ev| {
+            .map(|g| (grid_device(g.grid), g.stream))
+            .collect();
+        self.devices
+            .iter()
+            .enumerate()
+            .flat_map(|(d, log)| log.events.iter().map(move |ev| (d, ev)))
+            .filter(|(d, ev)| {
                 let (grid, stream) = match &ev.kind {
                     TraceEventKind::KernelLaunch { grid, stream, .. }
                     | TraceEventKind::CdpEnqueue { grid, stream, .. }
@@ -87,11 +114,12 @@ impl ServeReport {
                 if let Some(g) = grid {
                     grids.contains(&g)
                 } else {
-                    streams.contains(&stream)
+                    streams.contains(&(*d, stream))
                         && ev.cycle >= trail.submit_cycle
                         && ev.cycle <= trail.complete_cycle
                 }
             })
+            .map(|(_, ev)| ev)
             .collect()
     }
 
@@ -138,12 +166,12 @@ impl ServeReport {
         }
         w.end_arr();
         w.begin_arr_key("device_events");
-        for ev in &self.device_events {
+        for ev in self.device_events() {
             w.elem_raw(&ev.to_json());
         }
         w.end_arr();
         w.begin_arr_key("kernels");
-        for r in &self.device_records {
+        for r in self.device_records() {
             w.elem_raw(&r.to_json());
         }
         w.end_arr();
@@ -197,7 +225,8 @@ impl ServeReport {
         };
 
         const HOST: usize = 0;
-        const DEV: usize = 1;
+        // Device `d` renders as pid DEV0 + d.
+        const DEV0: usize = 1;
         const TID_QUEUE: u64 = 0;
         const TID_WORKER0: u64 = 1;
         const TID_TENANT0: u64 = 100;
@@ -211,15 +240,26 @@ impl ServeReport {
             0,
             &[("name", "\"ggpu-serve host\"".into())],
         );
-        ev(
-            "process_name",
-            'M',
-            0.0,
-            None,
-            DEV,
-            0,
-            &[("name", "\"device\"".into())],
-        );
+        for d in 0..self.devices.len() {
+            ev(
+                "process_name",
+                'M',
+                0.0,
+                None,
+                DEV0 + d,
+                0,
+                &[("name", format!("\"device {d}\""))],
+            );
+            ev(
+                "thread_name",
+                'M',
+                0.0,
+                None,
+                DEV0 + d,
+                0,
+                &[("name", "\"transfers (pcie/p2p)\"".into())],
+            );
+        }
         ev(
             "thread_name",
             'M',
@@ -228,15 +268,6 @@ impl ServeReport {
             HOST,
             TID_QUEUE,
             &[("name", "\"admission queue\"".into())],
-        );
-        ev(
-            "thread_name",
-            'M',
-            0.0,
-            None,
-            DEV,
-            0,
-            &[("name", "\"pcie (memcpy)\"".into())],
         );
 
         // --- host: queue-depth counter track -------------------------------
@@ -398,88 +429,91 @@ impl ServeReport {
             );
         }
 
-        // --- device: one row per stream from kernel records ----------------
-        let mut streams: BTreeSet<usize> = BTreeSet::new();
-        for r in &self.device_records {
-            streams.insert(r.stream);
-            ev(
-                &format!("{} #{}", r.kernel, r.grid),
-                'X',
-                us(r.start_cycle),
-                Some(us(r.retire_cycle.saturating_sub(r.start_cycle))),
-                DEV,
-                1 + r.stream as u64,
-                &[
-                    ("grid", format!("{}", r.grid)),
-                    ("kernel", format!("\"{}\"", escape(&r.kernel))),
-                    ("stream", format!("{}", r.stream)),
-                    ("ctas", format!("{}", r.ctas)),
-                    ("launch_cycle", format!("{}", r.launch_cycle)),
-                    ("retire_cycle", format!("{}", r.retire_cycle)),
-                ],
-            );
-        }
-        // Faults, watchdog fires, and PCIe transfers from the device trace.
-        for e in &self.device_events {
-            match &e.kind {
-                TraceEventKind::Memcpy { dir, bytes, cycles } => {
-                    ev(
-                        &format!("memcpy_{dir}"),
-                        'X',
-                        us(e.cycle),
-                        Some(us(*cycles)),
-                        DEV,
-                        0,
-                        &[("bytes", format!("{bytes}"))],
-                    );
-                }
-                TraceEventKind::Fault {
-                    kind,
-                    kernel,
-                    stream,
-                } => {
-                    streams.insert(*stream);
-                    ev(
-                        &format!("FAULT: {kind}"),
-                        'i',
-                        us(e.cycle),
-                        None,
-                        DEV,
-                        1 + *stream as u64,
-                        &[
-                            ("kernel", format!("\"{}\"", escape(kernel))),
-                            ("stream", format!("{stream}")),
-                        ],
-                    );
-                }
-                TraceEventKind::Deadlock {
-                    stalled_for,
-                    stream,
-                } => {
-                    streams.insert(*stream);
-                    ev(
-                        "DEADLOCK (watchdog)",
-                        'i',
-                        us(e.cycle),
-                        None,
-                        DEV,
-                        1 + *stream as u64,
-                        &[("stalled_for", format!("{stalled_for}"))],
-                    );
-                }
-                _ => {}
+        // --- devices: one pid per device, one row per stream ----------------
+        for (d, log) in self.devices.iter().enumerate() {
+            let pid = DEV0 + d;
+            let mut streams: BTreeSet<usize> = BTreeSet::new();
+            for r in &log.records {
+                streams.insert(r.stream);
+                ev(
+                    &format!("{} #{}", r.kernel, r.grid),
+                    'X',
+                    us(r.start_cycle),
+                    Some(us(r.retire_cycle.saturating_sub(r.start_cycle))),
+                    pid,
+                    1 + r.stream as u64,
+                    &[
+                        ("grid", format!("{}", r.grid)),
+                        ("kernel", format!("\"{}\"", escape(&r.kernel))),
+                        ("stream", format!("{}", r.stream)),
+                        ("ctas", format!("{}", r.ctas)),
+                        ("launch_cycle", format!("{}", r.launch_cycle)),
+                        ("retire_cycle", format!("{}", r.retire_cycle)),
+                    ],
+                );
             }
-        }
-        for s in &streams {
-            ev(
-                "thread_name",
-                'M',
-                0.0,
-                None,
-                DEV,
-                1 + *s as u64,
-                &[("name", format!("\"stream {s}\""))],
-            );
+            // Faults, watchdog fires, and PCIe/P2P transfers from the trace.
+            for e in &log.events {
+                match &e.kind {
+                    TraceEventKind::Memcpy { dir, bytes, cycles } => {
+                        ev(
+                            &format!("memcpy_{dir}"),
+                            'X',
+                            us(e.cycle),
+                            Some(us(*cycles)),
+                            pid,
+                            0,
+                            &[("bytes", format!("{bytes}"))],
+                        );
+                    }
+                    TraceEventKind::Fault {
+                        kind,
+                        kernel,
+                        stream,
+                    } => {
+                        streams.insert(*stream);
+                        ev(
+                            &format!("FAULT: {kind}"),
+                            'i',
+                            us(e.cycle),
+                            None,
+                            pid,
+                            1 + *stream as u64,
+                            &[
+                                ("kernel", format!("\"{}\"", escape(kernel))),
+                                ("stream", format!("{stream}")),
+                            ],
+                        );
+                    }
+                    TraceEventKind::Deadlock {
+                        stalled_for,
+                        stream,
+                    } => {
+                        streams.insert(*stream);
+                        ev(
+                            "DEADLOCK (watchdog)",
+                            'i',
+                            us(e.cycle),
+                            None,
+                            pid,
+                            1 + *stream as u64,
+                            &[("stalled_for", format!("{stalled_for}"))],
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            for s in &streams {
+                ev(
+                    "thread_name",
+                    'M',
+                    0.0,
+                    None,
+                    pid,
+                    1 + *s as u64,
+                    &[("name", format!("\"stream {s}\""))],
+                );
+            }
         }
 
         let mut doc = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");

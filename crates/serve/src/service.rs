@@ -7,7 +7,7 @@ use ggpu_kernels::dp::{build_dp_kernel, scoring_const_data, DpKernelCfg, DpMode}
 use ggpu_kernels::nvb::{build_fm_search_kernel, FmTables};
 use ggpu_kernels::pairhmm::{build_pairhmm_kernel, phred_const_data, PairHmmKernelCfg, RowStorage};
 use ggpu_kernels::pairwise::{GAP_EXTEND, GAP_OPEN, MATCH, MISMATCH};
-use ggpu_sim::{DevicePtr, Gpu, LaunchOptions, SimError, StreamId};
+use ggpu_sim::{DevicePtr, Gpu, GpuNode, LaunchOptions, NodeConfig, SimError, StreamId};
 
 use crate::batch::{self, Batch};
 use crate::error::{AdmitError, ServiceDead};
@@ -42,11 +42,12 @@ struct PhPipe {
     tpc: u32,
 }
 
-/// One worker: a stream plus its private input/output slabs. Slabs are
-/// allocated eagerly at build time and reused for every batch, so the
-/// request path never allocates device memory — overload surfaces as a
-/// typed admission error, not as OOM mid-flight.
+/// One worker: a device, a stream on it, and private input/output slabs.
+/// Slabs are allocated eagerly at build time and recycled across every
+/// batch and shape, so the request path never allocates device memory —
+/// overload surfaces as a typed admission error, not as OOM mid-flight.
 struct Worker {
+    device: usize,
     stream: StreamId,
     in_a: DevicePtr,
     in_b: DevicePtr,
@@ -57,9 +58,11 @@ struct Worker {
 /// The alignment service. See the crate docs for the architecture.
 pub struct Service {
     cfg: ServeConfig,
-    gpu: Gpu,
+    node: GpuNode,
     dp: Vec<DpPipe>,
-    fm: Option<FmPipe>,
+    /// One FM pipe per device (the reference tables are replicated to
+    /// every device over the fabric); empty when FM serving is disabled.
+    fm: Vec<FmPipe>,
     ph: Option<PhPipe>,
     workers: Vec<Worker>,
     queue: AdmissionQueue,
@@ -71,7 +74,8 @@ pub struct Service {
     round: u64,
     next_job: u64,
     next_batch: u64,
-    records_seen: usize,
+    /// Kernel records already fed to telemetry, per device.
+    records_seen: Vec<usize>,
 }
 
 /// Largest thread count (a power of two, at most `cap`) whose shared-
@@ -146,36 +150,58 @@ impl Service {
             .as_ref()
             .map(|c| program.add(build_pairhmm_kernel("serve-pairhmm", c)));
 
-        let mut gpu = Gpu::new(program, gcfg);
+        let n_devices = cfg.n_devices.max(1);
+        let mut node = GpuNode::new(program, NodeConfig::new(n_devices, gcfg));
         let mut dp = Vec::new();
         for (pipe, kcfg) in dp_cfgs {
-            gpu.bind_constants(pipe.kernel, scoring_const_data(&kcfg));
+            for d in 0..n_devices {
+                node.device_mut(d)
+                    .bind_constants(pipe.kernel, scoring_const_data(&kcfg));
+            }
             dp.push(pipe);
         }
-        let fm = match (fm_tables, fm_kernel) {
-            (Some(tables), Some(kernel)) => {
-                gpu.bind_constants(kernel, tables.const_data());
-                let text = gpu.try_malloc(tables.text.len() as u64)?;
-                let occ = gpu.try_malloc(tables.occ.len() as u64 * 4)?;
-                let sa = gpu.try_malloc(tables.sa.len() as u64 * 4)?;
-                gpu.try_memcpy_h2d(text, &tables.text)?;
-                let occ_bytes: Vec<u8> = tables.occ.iter().flat_map(|v| v.to_le_bytes()).collect();
-                gpu.try_memcpy_h2d(occ, &occ_bytes)?;
-                let sa_bytes: Vec<u8> = tables.sa.iter().flat_map(|v| v.to_le_bytes()).collect();
-                gpu.try_memcpy_h2d(sa, &sa_bytes)?;
-                Some(FmPipe {
+        let mut fm = Vec::new();
+        if let (Some(tables), Some(kernel)) = (fm_tables, fm_kernel) {
+            let occ_bytes: Vec<u8> = tables.occ.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let sa_bytes: Vec<u8> = tables.sa.iter().flat_map(|v| v.to_le_bytes()).collect();
+            for d in 0..n_devices {
+                let dev = node.device_mut(d);
+                dev.bind_constants(kernel, tables.const_data());
+                let text = dev.try_malloc(tables.text.len() as u64)?;
+                let occ = dev.try_malloc(occ_bytes.len() as u64)?;
+                let sa = dev.try_malloc(sa_bytes.len() as u64)?;
+                fm.push(FmPipe {
                     kernel,
                     text,
                     occ,
                     sa,
                     read_len: cfg.fm_read_len,
-                })
+                });
             }
-            _ => None,
-        };
+            // Upload the reference once over PCIe, then replicate it to
+            // the peer devices over the inter-GPU fabric.
+            node.device_mut(0)
+                .try_memcpy_h2d(fm[0].text, &tables.text)?;
+            node.device_mut(0).try_memcpy_h2d(fm[0].occ, &occ_bytes)?;
+            node.device_mut(0).try_memcpy_h2d(fm[0].sa, &sa_bytes)?;
+            for d in 1..n_devices {
+                node.try_p2p_copy(0, fm[0].text, d, fm[d].text, tables.text.len())?;
+                node.try_p2p_copy(0, fm[0].occ, d, fm[d].occ, occ_bytes.len())?;
+                node.try_p2p_copy(0, fm[0].sa, d, fm[d].sa, sa_bytes.len())?;
+            }
+            if n_devices > 1 {
+                // Land the broadcast before any kernel can read the tables.
+                for r in node.try_sync_all() {
+                    r?;
+                }
+            }
+        }
         let ph = match (ph_cfg, ph_kernel) {
             (Some(c), Some(kernel)) => {
-                gpu.bind_constants(kernel, phred_const_data());
+                for d in 0..n_devices {
+                    node.device_mut(d)
+                        .bind_constants(kernel, phred_const_data());
+                }
                 Some(PhPipe {
                     kernel,
                     tpc: c.threads_per_cta,
@@ -195,13 +221,16 @@ impl Service {
         let c_bytes = (nb * 4).max(nb * cfg.phmm_hap_len as u64).max(1);
         let mut workers = Vec::new();
         let mut metrics = ServeMetrics::default();
-        for _ in 0..cfg.workers.max(1) {
+        for w in 0..cfg.workers.max(1) {
+            let device = w % n_devices;
+            let dev = node.device_mut(device);
             workers.push(Worker {
-                stream: gpu.create_stream(),
-                in_a: gpu.try_malloc(a_bytes)?,
-                in_b: gpu.try_malloc(b_bytes)?,
-                in_c: gpu.try_malloc(c_bytes)?,
-                out: gpu.try_malloc(nb * 8)?,
+                device,
+                stream: dev.create_stream(),
+                in_a: dev.try_malloc(a_bytes)?,
+                in_b: dev.try_malloc(b_bytes)?,
+                in_c: dev.try_malloc(c_bytes)?,
+                out: dev.try_malloc(nb * 8)?,
             });
             metrics.streams_created += 1;
         }
@@ -209,7 +238,7 @@ impl Service {
         let telemetry = ServeTelemetry::new(cfg.telemetry_events);
         Ok(Service {
             cfg,
-            gpu,
+            node,
             dp,
             fm,
             ph,
@@ -223,8 +252,15 @@ impl Service {
             round: 0,
             next_job: 0,
             next_batch: 0,
-            records_seen: 0,
+            records_seen: vec![0; n_devices],
         })
+    }
+
+    /// The host-side clock: the furthest-ahead device cycle counter.
+    /// Deterministic (device clocks are) and monotone, so telemetry
+    /// timestamps order consistently across devices.
+    fn now(&self) -> u64 {
+        self.node.devices().map(Gpu::cycle).max().unwrap_or(0)
     }
 
     /// Submit one job. Admission is synchronous and typed: the job is
@@ -238,7 +274,7 @@ impl Service {
         kind: JobKind,
     ) -> Result<JobId, AdmitError> {
         self.metrics.submitted += 1;
-        let cycle = self.gpu.cycle();
+        let cycle = self.now();
         self.telemetry.on_submit(cycle, tenant, priority);
         let shape = match shape_of(&kind, &self.cfg) {
             Ok(s) => s,
@@ -327,7 +363,7 @@ impl Service {
             }
             let id = self.next_batch;
             self.next_batch += 1;
-            let cycle = self.gpu.cycle();
+            let cycle = self.now();
             let depth = self.queue.len() as u64;
             for job in &jobs {
                 self.telemetry
@@ -352,7 +388,7 @@ impl Service {
                     self.metrics.batches_launched += 1;
                     let members: Vec<JobId> = batch.jobs.iter().map(|j| j.spec.id).collect();
                     let span = self.telemetry.on_launch(
-                        self.gpu.cycle(),
+                        self.now(),
                         batch.id,
                         w,
                         self.workers[w].stream,
@@ -369,23 +405,29 @@ impl Service {
             }
         }
         if !launched.is_empty() {
-            // Streams >= 1 never poison the device: a worker fault leaves
-            // this Ok and is read back per stream below.
-            self.gpu.try_synchronize().map_err(|e| ServiceDead {
-                error: e.to_string(),
-            })?;
+            // Streams >= 1 never poison a device: a worker fault leaves
+            // its device's result Ok and is read back per stream below.
+            // Devices simulate concurrently; results come back in
+            // device-index order.
+            for r in self.node.try_sync_all() {
+                r.map_err(|e| ServiceDead {
+                    error: e.to_string(),
+                })?;
+            }
         }
         self.ingest_records();
         for (w, batch, span) in launched {
-            let stream = self.workers[w].stream;
-            if let Some(err) = self.gpu.stream_fault(stream).cloned() {
+            let (device, stream) = (self.workers[w].device, self.workers[w].stream);
+            if let Some(err) = self.node.device(device).stream_fault(stream).cloned() {
                 // Recover the stream (proves the device survives), then
-                // retire it — retries go out on a fresh stream.
-                let cycle = self.gpu.cycle();
+                // retire it — retries go out on a fresh stream. The fault
+                // is scoped to this device; workers on other devices never
+                // see it.
+                let cycle = self.now();
                 self.telemetry.on_span_faulted(span, cycle);
-                let _ = self.gpu.reset_stream(stream);
+                let _ = self.node.device_mut(device).reset_stream(stream);
                 self.metrics.stream_resets += 1;
-                self.workers[w].stream = self.gpu.create_stream();
+                self.workers[w].stream = self.node.device_mut(device).create_stream();
                 self.metrics.streams_created += 1;
                 self.telemetry
                     .on_stream_reset(cycle, w, stream, self.workers[w].stream);
@@ -411,12 +453,17 @@ impl Service {
     }
 
     /// Feed newly retired [`ggpu_sim::KernelRecord`]s to the telemetry
-    /// layer (grid start/retire joins for spans and device-exec stage).
+    /// layer (grid start/retire joins for spans and device-exec stage),
+    /// device by device. Grid handles are node-unique, so the joins need
+    /// no device disambiguation.
     fn ingest_records(&mut self) {
-        let records = self.gpu.kernel_records();
-        if records.len() > self.records_seen {
-            self.telemetry.ingest_records(&records[self.records_seen..]);
-            self.records_seen = records.len();
+        for d in 0..self.node.n_devices() {
+            let records = self.node.device(d).kernel_records();
+            let seen = self.records_seen[d];
+            if records.len() > seen {
+                self.telemetry.ingest_records(&records[seen..]);
+                self.records_seen[d] = records.len();
+            }
         }
     }
 
@@ -474,14 +521,41 @@ impl Service {
         self.queue.len() + self.parked.iter().map(|b| b.jobs.len()).sum::<usize>()
     }
 
-    /// Device statistics (for soak assertions and dashboards).
+    /// Node-total device statistics — every per-device counter merged
+    /// with [`ggpu_sim::RunStats::merge`] (for soak assertions and
+    /// dashboards). Identical to the single device's stats when
+    /// `n_devices == 1`.
     pub fn stats(&self) -> ggpu_sim::RunStats {
-        self.gpu.stats()
+        self.node.stats().total()
     }
 
-    /// Per-grid records from the underlying device (stream-stamped).
-    pub fn kernel_records(&self) -> &[ggpu_sim::KernelRecord] {
-        self.gpu.kernel_records()
+    /// Per-device statistics plus fabric counters.
+    pub fn node_stats(&self) -> ggpu_sim::NodeStats {
+        self.node.stats()
+    }
+
+    /// Devices the service is serving over.
+    pub fn n_devices(&self) -> usize {
+        self.node.n_devices()
+    }
+
+    /// Device-memory allocation counts per device. Flat across rounds and
+    /// shape changes once the service is built: slabs and local-memory
+    /// arenas are recycled, never reallocated.
+    pub fn device_alloc_counts(&self) -> Vec<u64> {
+        self.node
+            .devices()
+            .map(|g| g.memory().alloc_count())
+            .collect()
+    }
+
+    /// Per-grid records from every device, concatenated in device-index
+    /// order (stream-stamped; grid handles encode the device).
+    pub fn kernel_records(&self) -> Vec<ggpu_sim::KernelRecord> {
+        self.node
+            .devices()
+            .flat_map(|g| g.kernel_records().iter().cloned())
+            .collect()
     }
 
     /// Snapshot everything the serving layer observed — counters, the
@@ -508,8 +582,14 @@ impl Service {
             spans: self.telemetry.spans().to_vec(),
             trails: self.telemetry.trails().to_vec(),
             in_flight: self.telemetry.in_flight() as u64,
-            device_events: self.gpu.trace_events().to_vec(),
-            device_records: self.gpu.kernel_records().to_vec(),
+            devices: self
+                .node
+                .devices()
+                .map(|g| crate::report::DeviceLog {
+                    events: g.trace_events().to_vec(),
+                    records: g.kernel_records().to_vec(),
+                })
+                .collect(),
         }
     }
 
@@ -519,7 +599,7 @@ impl Service {
             *n = n.saturating_sub(1);
         }
         self.telemetry
-            .on_complete(self.gpu.cycle(), id, tenant, OutcomeTag::of(&outcome));
+            .on_complete(self.now(), id, tenant, OutcomeTag::of(&outcome));
         let prev = self.outcomes.insert(id, outcome);
         debug_assert!(prev.is_none(), "outcome recorded twice for {id}");
     }
@@ -543,7 +623,7 @@ impl Service {
     /// would trade latency for collapse.
     fn batch_failed(&mut self, mut batch: Batch, err: SimError) {
         let deadline = matches!(err, SimError::DeadlineExceeded { .. });
-        let cycle = self.gpu.cycle();
+        let cycle = self.now();
         batch.attempts += 1;
         if !deadline && batch.attempts < self.cfg.max_attempts.max(1) {
             self.metrics.retries += 1;
@@ -579,13 +659,15 @@ impl Service {
     }
 
     /// Upload a batch into worker `w`'s slabs and launch its fused grid
-    /// on the worker's stream, returning the device grid handle (the
-    /// telemetry join key into kernel records and the device trace). Any
-    /// error leaves the device clean — the grid was not enqueued.
+    /// on the worker's stream (on the worker's device), returning the
+    /// node-unique device grid handle (the telemetry join key into kernel
+    /// records and the device trace). Any error leaves the device clean —
+    /// the grid was not enqueued.
     fn upload_and_launch(&mut self, w: usize, batch: &Batch) -> Result<u64, SimError> {
         let n = batch.jobs.len() as u64;
         let worker = &self.workers[w];
-        let (stream, in_a, in_b, in_c, out) = (
+        let (device, stream, in_a, in_b, in_c, out) = (
+            worker.device,
             worker.stream,
             worker.in_a,
             worker.in_b,
@@ -605,11 +687,12 @@ impl Service {
                     .expect("bucket compiled at build");
                 let (kernel, tpc) = (pipe.kernel, pipe.tpc);
                 let (q, t, lens) = batch::encode_pairwise(&batch.jobs, bucket);
-                self.gpu.try_memcpy_h2d(in_a, &q)?;
-                self.gpu.try_memcpy_h2d(in_b, &t)?;
-                self.gpu.try_memcpy_h2d(in_c, &lens)?;
+                let gpu = self.node.device_mut(device);
+                gpu.try_memcpy_h2d(in_a, &q)?;
+                gpu.try_memcpy_h2d(in_b, &t)?;
+                gpu.try_memcpy_h2d(in_c, &lens)?;
                 let dims = Self::dims_for(n, tpc);
-                self.gpu.try_launch_on(
+                gpu.try_launch_on(
                     kernel,
                     dims,
                     &[
@@ -627,17 +710,18 @@ impl Service {
                 )?
             }
             ShapeKey::Fm => {
-                let pipe = self.fm.as_ref().expect("FM shape admitted without pipe");
+                let pipe = self.fm.get(device).expect("FM shape admitted without pipe");
                 let (kernel, occ, sa, text, read_len) =
                     (pipe.kernel, pipe.occ, pipe.sa, pipe.text, pipe.read_len);
                 let reads = batch::encode_fm(&batch.jobs);
-                self.gpu.try_memcpy_h2d(in_a, &reads)?;
+                let gpu = self.node.device_mut(device);
+                gpu.try_memcpy_h2d(in_a, &reads)?;
                 // The kernel writes `out` only for mappable reads; zero
                 // the slab so unmapped lanes read as "no hit" rather than
                 // the previous batch's results.
-                self.gpu.try_memcpy_h2d(out, &vec![0u8; (n * 8) as usize])?;
+                gpu.try_memcpy_h2d(out, &vec![0u8; (n * 8) as usize])?;
                 let dims = Self::dims_for(n, 32);
-                self.gpu.try_launch_on(
+                gpu.try_launch_on(
                     kernel,
                     dims,
                     &[
@@ -662,11 +746,12 @@ impl Service {
                     .expect("PairHMM shape admitted without pipe");
                 let (kernel, tpc) = (pipe.kernel, pipe.tpc);
                 let (reads, quals, haps) = batch::encode_pairhmm(&batch.jobs);
-                self.gpu.try_memcpy_h2d(in_a, &reads)?;
-                self.gpu.try_memcpy_h2d(in_b, &quals)?;
-                self.gpu.try_memcpy_h2d(in_c, &haps)?;
+                let gpu = self.node.device_mut(device);
+                gpu.try_memcpy_h2d(in_a, &reads)?;
+                gpu.try_memcpy_h2d(in_b, &quals)?;
+                gpu.try_memcpy_h2d(in_c, &haps)?;
                 let dims = Self::dims_for(n, tpc);
-                self.gpu.try_launch_on(
+                gpu.try_launch_on(
                     kernel,
                     dims,
                     &[
@@ -698,11 +783,12 @@ impl Service {
     /// D2H transfer is retried once (the drop is per-transfer, not
     /// sticky) before counting as a batch failure.
     fn readback(&mut self, w: usize, batch: &Batch) -> Result<Vec<crate::JobOutput>, SimError> {
-        let out = self.workers[w].out;
+        let (device, out) = (self.workers[w].device, self.workers[w].out);
         let bytes = batch.jobs.len() * 8;
-        let raw = match self.gpu.try_memcpy_d2h(out, bytes) {
+        let gpu = self.node.device_mut(device);
+        let raw = match gpu.try_memcpy_d2h(out, bytes) {
             Ok(raw) => raw,
-            Err(SimError::MemcpyDropped { .. }) => self.gpu.try_memcpy_d2h(out, bytes)?,
+            Err(SimError::MemcpyDropped { .. }) => gpu.try_memcpy_d2h(out, bytes)?,
             Err(e) => return Err(e),
         };
         Ok(batch::decode(batch.shape, &raw))

@@ -342,3 +342,69 @@ fn mixed_shapes_batch_separately_and_all_complete() {
     // Every grid record is stamped with a non-default stream.
     assert!(svc.kernel_records().iter().all(|r| r.stream >= 1));
 }
+
+#[test]
+fn device_allocations_stay_flat_across_shape_changes() {
+    // The request path must never allocate device memory: worker slabs
+    // are built once in `Service::new` and recycled across every batch
+    // and every shape. Run waves of each shape in rotation and pin the
+    // per-device allocation counters after the first full rotation.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+    let genome = random_genome(400, &mut rng);
+    let mut cfg = ServeConfig::test_small();
+    cfg.fm_genome = genome.codes().to_vec();
+    let mut svc = Service::new(cfg).expect("build service");
+    let wave = |svc: &mut Service, shape: usize, rng: &mut rand::rngs::StdRng| {
+        for _ in 0..4 {
+            let kind = match shape {
+                0 => JobKind::Pairwise {
+                    query: rand_seq(rng, 20),
+                    target: rand_seq(rng, 24),
+                },
+                1 => JobKind::Pairwise {
+                    // The other length bucket: a different kernel and
+                    // different slab strides on the same worker slabs.
+                    query: rand_seq(rng, 50),
+                    target: rand_seq(rng, 60),
+                },
+                2 => {
+                    let start = rng.gen_range(0..400 - 16);
+                    JobKind::FmMap {
+                        read: genome.codes()[start..start + 16].to_vec(),
+                    }
+                }
+                _ => {
+                    let hap = rand_seq(rng, 14);
+                    JobKind::PairHmm {
+                        read: hap[..10].to_vec(),
+                        quals: vec![30; 10],
+                        hap,
+                    }
+                }
+            };
+            svc.submit(Tenant(0), Priority(0), None, kind)
+                .expect("admit");
+        }
+        svc.run_until_idle(200).expect("no device-wide fault");
+    };
+    // Warmup: every shape has executed at least once.
+    for shape in 0..4 {
+        wave(&mut svc, shape, &mut rng);
+    }
+    let warm = svc.device_alloc_counts();
+    // Keep rotating shapes: no shape change may allocate device memory.
+    for round in 0..3 {
+        for shape in 0..4 {
+            wave(&mut svc, shape, &mut rng);
+            assert_eq!(
+                svc.device_alloc_counts(),
+                warm,
+                "allocation count grew in round {round} after switching to shape {shape}"
+            );
+        }
+    }
+    assert!(
+        matches!(svc.metrics().completed, n if n == 16 + 3 * 16),
+        "all waves completed"
+    );
+}

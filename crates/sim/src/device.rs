@@ -43,6 +43,7 @@ use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind, TraceSink};
 
 use self::engine::{DramTarget, Ev};
 use self::launch::Grid;
+use self::memcpy::InboundCopy;
 use self::parallel::{LaneSet, SmLane};
 
 /// Identifier of a host-side stream. Stream 0 is the default stream every
@@ -111,6 +112,10 @@ pub struct Gpu {
     cycle: u64,
     /// In-flight network packets, popped in (time, insertion) order.
     events: DeliveryQueue<Ev>,
+    /// Peer-to-peer payloads in flight *towards* this device over the node
+    /// fabric, applied to memory in the serial post phase at their exact
+    /// arrival cycle ([`crate::GpuNode::try_p2p_copy`] stamps them).
+    pending_inbound: DeliveryQueue<InboundCopy>,
     /// Host streams; index 0 is the default stream (the legacy host queue).
     streams: Vec<StreamState>,
     /// Stream whose head grid currently owns the device (armed or running),
@@ -124,6 +129,11 @@ pub struct Gpu {
     device_queue: VecDeque<u64>,
     grids: HashMap<u64, Grid>,
     next_grid: u64,
+    /// Retired local-memory arenas available for reuse, as `(size, base)`.
+    /// Exact-size recycling keyed off the launch geometry keeps steady-state
+    /// serving at zero allocations per batch (see
+    /// [`crate::DeviceMemory::alloc_count`]).
+    free_arenas: Vec<(u64, u64)>,
     const_bindings: HashMap<u32, Arc<Vec<u8>>>,
     /// (partition, line) → (sm, req id) entries awaiting an L2 fill.
     l2_waiters: HashMap<(usize, u64), Vec<(usize, u64)>>,
@@ -197,6 +207,7 @@ impl Gpu {
             icnt_rep,
             cycle: 0,
             events: DeliveryQueue::new(),
+            pending_inbound: DeliveryQueue::new(),
             streams: vec![StreamState::default()],
             active_stream: None,
             stream_cursor: 0,
@@ -204,6 +215,7 @@ impl Gpu {
             device_queue: VecDeque::new(),
             grids: HashMap::new(),
             next_grid: 1,
+            free_arenas: Vec::new(),
             const_bindings: HashMap::new(),
             l2_waiters: HashMap::new(),
             dram_inflight: HashMap::new(),
@@ -244,6 +256,16 @@ impl Gpu {
     /// Current simulated cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Offset all future grid handles by `base` (`next_grid` becomes
+    /// `base + 1`). A node calls this once per device at construction (with
+    /// `device_index << 40`) so grid handles — the join key between kernel
+    /// records, trace events, and serving telemetry — stay unique across
+    /// every device in the node. Must be called before the first launch.
+    pub fn set_grid_base(&mut self, base: u64) {
+        debug_assert_eq!(self.next_grid, 1, "grid base must be set before launches");
+        self.next_grid = base + 1;
     }
 
     /// Simulated cycles elided by idle-cycle fast-forward so far (see

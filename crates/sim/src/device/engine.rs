@@ -69,6 +69,7 @@ impl Gpu {
     fn busy_over<'a>(&self, mut cores: impl Iterator<Item = &'a SmCore>) -> bool {
         !self.grids.is_empty()
             || !self.events.is_empty()
+            || !self.pending_inbound.is_empty()
             || cores.any(|s| !s.is_idle() || s.has_outstanding())
             || self.dram.iter().any(|d| !d.is_idle())
     }
@@ -287,6 +288,23 @@ impl Gpu {
     /// (the deterministic merge), then resolve faults, feed the watchdog,
     /// and sample.
     pub(super) fn cycle_post(&mut self, lanes: &mut LaneSet<'_>, mem: &mut DeviceMemory, now: u64) {
+        // 3b. Land due peer-to-peer payloads before the SM merge: the DMA
+        // write commits at its exact arrival cycle, ahead of any same-cycle
+        // SM store, so node-level memory state is deterministic at any host
+        // thread count.
+        while let Some(copy) = self.pending_inbound.pop_due(now) {
+            mem.write_slice(crate::memory::DevicePtr(copy.dst), &copy.bytes);
+            self.host.p2p_recvs += 1;
+            self.host.p2p_bytes_in += copy.bytes.len() as u64;
+            if self.trace_on() {
+                self.emit(TraceEventKind::Memcpy {
+                    dir: crate::trace::CopyDir::P2P,
+                    bytes: copy.bytes.len() as u64,
+                    cycles: copy.cycles,
+                });
+            }
+        }
+
         // 4. Merge the SM outputs. Each lane's buffers are swapped out,
         // drained in place (retaining capacity), and swapped back — the
         // steady-state hot path allocates nothing.
@@ -365,10 +383,12 @@ impl Gpu {
         }
 
         // 6. Forward-progress watchdog bookkeeping. Progress means: an
-        // instruction issued, a network packet is still in flight, a DRAM
-        // channel is working, or a grid is waiting out its launch overhead.
+        // instruction issued, a network packet is still in flight, a P2P
+        // payload is inbound over the node fabric, a DRAM channel is
+        // working, or a grid is waiting out its launch overhead.
         let progress = issued > 0
             || !self.events.is_empty()
+            || !self.pending_inbound.is_empty()
             || self.dram.iter().any(|d| !d.is_idle())
             || self
                 .grids

@@ -113,6 +113,16 @@ impl Gpu {
             t = t.min(due);
         }
 
+        // Earliest inbound peer-to-peer arrival over the node fabric: the
+        // payload must land in `cycle_post` of its exact arrival cycle, so
+        // the span may not jump past it.
+        if let Some(due) = self.pending_inbound.next_due() {
+            if due <= c0 {
+                return;
+            }
+            t = t.min(due);
+        }
+
         // DRAM channels: earliest issue or completion.
         for d in &self.dram {
             let next = d.next_event_cycle(c0);
@@ -182,6 +192,7 @@ impl Gpu {
         // The progress predicate and `device_busy` are constant over the
         // span (see module docs); evaluate both once at `c0`.
         let progress = !self.events.is_empty()
+            || !self.pending_inbound.is_empty()
             || self.dram.iter().any(|d| !d.is_idle())
             || self
                 .grids

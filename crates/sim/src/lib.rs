@@ -51,6 +51,7 @@ mod device;
 mod error;
 pub mod json;
 mod memory;
+mod node;
 mod profile;
 mod stats;
 mod trace;
@@ -59,6 +60,7 @@ pub use config::{FaultPlan, GpuConfig, PcieConfig};
 pub use device::{Gpu, LaunchOptions, StreamId};
 pub use error::{DeadlockReport, DeviceFault, LaunchProblem, SimError};
 pub use memory::{DeviceMemory, DevicePtr};
+pub use node::{grid_device, shard_ranges, FabricConfig, GpuNode, NodeConfig, NodeStats};
 pub use profile::{
     run_stats_json, IntervalSample, KernelPcProfile, KernelRecord, PartitionUnit, PcProfile,
     PcProfileRow, ProfileReport, SmUnit, UnitProfile,
@@ -77,6 +79,11 @@ pub use ggpu_sm::{WarpReport, WarpWait};
 // Re-export the counter vocabulary the attribution profiler exposes, so
 // harnesses can read [`ProfileReport`] without substrate dependencies.
 pub use ggpu_mem::{CacheStats, DramStats};
+
+// Re-export the interconnect vocabulary so node-level fabrics
+// ([`FabricConfig`]) can be configured without a direct `ggpu-icnt`
+// dependency.
+pub use ggpu_icnt::{IcntConfig, IcntStats, Topology};
 pub use ggpu_sm::{PcCounters, PcTable, SmStats, StallBreakdown, StallReason};
 
 #[cfg(test)]

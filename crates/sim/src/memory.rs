@@ -34,6 +34,9 @@ pub struct DeviceMemory {
     /// Injected unmapped range (`[start, end)`); accesses overlapping it
     /// fault as illegal addresses.
     poison: Option<(u64, u64)>,
+    /// Allocations performed so far (never decremented; arena recycling
+    /// shows up as this staying flat while work continues).
+    alloc_count: u64,
 }
 
 /// Allocation alignment for [`DeviceMemory::alloc`].
@@ -48,6 +51,7 @@ impl DeviceMemory {
             data: Vec::new(),
             cursor: BASE,
             poison: None,
+            alloc_count: 0,
         }
     }
 
@@ -69,12 +73,20 @@ impl DeviceMemory {
         if self.data.len() < end {
             self.data.resize(end, 0);
         }
+        self.alloc_count += 1;
         DevicePtr(addr)
     }
 
     /// Bytes currently allocated.
     pub fn allocated(&self) -> u64 {
         self.cursor - BASE
+    }
+
+    /// Total [`DeviceMemory::alloc`] calls so far. Monotone: recycling an
+    /// arena does not allocate, so a steady-state harness sees this stay
+    /// flat while throughput continues.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
     }
 
     /// Copy a host slice into device memory.

@@ -586,7 +586,12 @@ pub fn run_stats_json(s: &RunStats) -> String {
         .u64("pci_cycles", s.host.pci_cycles)
         .u64("kernel_cycles", s.host.kernel_cycles)
         .u64("h2d_bytes", s.host.h2d_bytes)
-        .u64("d2h_bytes", s.host.d2h_bytes);
+        .u64("d2h_bytes", s.host.d2h_bytes)
+        .u64("p2p_sends", s.host.p2p_sends)
+        .u64("p2p_recvs", s.host.p2p_recvs)
+        .u64("p2p_bytes_out", s.host.p2p_bytes_out)
+        .u64("p2p_bytes_in", s.host.p2p_bytes_in)
+        .u64("p2p_cycles", s.host.p2p_cycles);
     w.end_obj();
 
     w.begin_obj_key("sm");

@@ -19,6 +19,17 @@ pub struct HostStats {
     pub h2d_bytes: u64,
     /// Device→host bytes moved.
     pub d2h_bytes: u64,
+    /// Peer-to-peer transfers this device initiated over the node fabric.
+    pub p2p_sends: u64,
+    /// Peer-to-peer transfers that landed in this device's memory.
+    pub p2p_recvs: u64,
+    /// Bytes this device sent to peer devices.
+    pub p2p_bytes_out: u64,
+    /// Bytes this device received from peer devices.
+    pub p2p_bytes_in: u64,
+    /// Modelled fabric cycles charged to this device's outbound transfers
+    /// (serialization + link latency, including queueing).
+    pub p2p_cycles: u64,
 }
 
 impl HostStats {
@@ -105,6 +116,31 @@ impl RunStats {
         into.rejected += from.rejected;
     }
 
+    /// Field-wise accumulation of another snapshot into this one — the
+    /// node-level aggregation primitive: per-device [`RunStats`] merge in
+    /// device-index order and the result is the node total every per-device
+    /// counter telescopes to. `sm.cycles` merges as a max (the same rule
+    /// the device applies across its SMs); every other counter sums.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.host.kernel_launches += other.host.kernel_launches;
+        self.host.pci_count += other.host.pci_count;
+        self.host.pci_cycles += other.host.pci_cycles;
+        self.host.kernel_cycles += other.host.kernel_cycles;
+        self.host.h2d_bytes += other.host.h2d_bytes;
+        self.host.d2h_bytes += other.host.d2h_bytes;
+        self.host.p2p_sends += other.host.p2p_sends;
+        self.host.p2p_recvs += other.host.p2p_recvs;
+        self.host.p2p_bytes_out += other.host.p2p_bytes_out;
+        self.host.p2p_bytes_in += other.host.p2p_bytes_in;
+        self.host.p2p_cycles += other.host.p2p_cycles;
+        self.sm.merge(&other.sm);
+        Self::merge_cache(&mut self.l1, &other.l1);
+        Self::merge_cache(&mut self.l2, &other.l2);
+        Self::merge_dram(&mut self.dram, &other.dram);
+        merge_icnt(&mut self.icnt_req, &other.icnt_req);
+        merge_icnt(&mut self.icnt_rep, &other.icnt_rep);
+    }
+
     /// Field-wise counter delta since an earlier snapshot `base`
     /// (saturating, so a reset between snapshots yields zeros rather than
     /// wrapping). This is the primitive behind per-kernel counter scoping
@@ -125,6 +161,17 @@ impl RunStats {
                     .saturating_sub(base.host.kernel_cycles),
                 h2d_bytes: self.host.h2d_bytes.saturating_sub(base.host.h2d_bytes),
                 d2h_bytes: self.host.d2h_bytes.saturating_sub(base.host.d2h_bytes),
+                p2p_sends: self.host.p2p_sends.saturating_sub(base.host.p2p_sends),
+                p2p_recvs: self.host.p2p_recvs.saturating_sub(base.host.p2p_recvs),
+                p2p_bytes_out: self
+                    .host
+                    .p2p_bytes_out
+                    .saturating_sub(base.host.p2p_bytes_out),
+                p2p_bytes_in: self
+                    .host
+                    .p2p_bytes_in
+                    .saturating_sub(base.host.p2p_bytes_in),
+                p2p_cycles: self.host.p2p_cycles.saturating_sub(base.host.p2p_cycles),
             },
             sm: self.sm.delta_since(&base.sm),
             l1: delta_cache(&self.l1, &base.l1),
@@ -155,6 +202,13 @@ fn delta_cache(now: &CacheStats, base: &CacheStats) -> CacheStats {
         reservation_fails: now.reservation_fails.saturating_sub(base.reservation_fails),
         writebacks: now.writebacks.saturating_sub(base.writebacks),
     }
+}
+
+fn merge_icnt(into: &mut IcntStats, from: &IcntStats) {
+    into.packets += from.packets;
+    into.flits += from.flits;
+    into.total_latency += from.total_latency;
+    into.queueing += from.queueing;
 }
 
 fn delta_icnt(now: &IcntStats, base: &IcntStats) -> IcntStats {

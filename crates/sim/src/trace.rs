@@ -20,6 +20,8 @@ pub enum CopyDir {
     H2D,
     /// Device to host.
     D2H,
+    /// Device to device across the node fabric (peer-to-peer).
+    P2P,
 }
 
 impl fmt::Display for CopyDir {
@@ -27,6 +29,7 @@ impl fmt::Display for CopyDir {
         f.write_str(match self {
             CopyDir::H2D => "h2d",
             CopyDir::D2H => "d2h",
+            CopyDir::P2P => "p2p",
         })
     }
 }
@@ -235,7 +238,10 @@ impl TraceEvent {
 ///
 /// Implementations must be cheap per event; the device calls
 /// [`TraceSink::event`] from the cycle loop whenever a sink is installed.
-pub trait TraceSink: fmt::Debug {
+/// Sinks must be `Send` so a whole [`crate::Gpu`] (including its sink) can
+/// move to a worker thread — the node engine simulates devices on parallel
+/// host threads.
+pub trait TraceSink: fmt::Debug + Send {
     /// Observe one event.
     fn event(&mut self, ev: &TraceEvent);
 }

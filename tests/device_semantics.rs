@@ -181,3 +181,54 @@ fn synchronize_with_no_work_is_free() {
     assert_eq!(gpu.synchronize(), 0);
     assert!(!gpu.busy());
 }
+
+#[test]
+fn local_memory_arenas_are_recycled_across_launches() {
+    // Each grid of a local-memory kernel needs a per-warp arena. The
+    // device keeps retired grids' arenas on a free list keyed by size, so
+    // steady-state relaunching — same shape or an alternation of shapes —
+    // reuses them instead of growing the heap.
+    let mut p = Program::new();
+    let mut kids = Vec::new();
+    for (name, local_bytes) in [("small", 64u32), ("large", 256u32)] {
+        let mut b = KernelBuilder::new(name);
+        b.set_local_bytes(local_bytes);
+        let tid = b.global_tid();
+        let v = b.reg();
+        b.imul(v, tid, Operand::imm(2));
+        // Local space is per-thread: slot 0 is private to each lane.
+        let zero = b.reg();
+        b.imul(zero, tid, Operand::imm(0));
+        b.st(Space::Local, Width::B64, Operand::reg(v), zero, 0);
+        let out = b.reg();
+        b.ld_param(out, 0);
+        let back = b.reg();
+        b.ld(Space::Local, Width::B64, back, zero, 0);
+        let addr = b.reg();
+        b.imul(addr, tid, Operand::imm(8));
+        b.iadd(addr, addr, Operand::reg(out));
+        b.st(Space::Global, Width::B64, Operand::reg(back), addr, 0);
+        b.exit();
+        kids.push(p.add(b.finish()));
+    }
+    let mut gpu = Gpu::new(p, GpuConfig::test_small());
+    let out = gpu.malloc(64 * 8);
+    // Warm up both shapes so each arena size exists on the free list.
+    for &k in &kids {
+        gpu.run_kernel(k, LaunchDims::linear(2, 32), &[out.0]);
+    }
+    let warm = gpu.memory().alloc_count();
+    for round in 0..6 {
+        let k = kids[round % 2];
+        gpu.run_kernel(k, LaunchDims::linear(2, 32), &[out.0]);
+        assert_eq!(
+            gpu.memory().alloc_count(),
+            warm,
+            "arena allocation grew in round {round}"
+        );
+    }
+    // Results stay correct through arena reuse (arenas are zeroed).
+    for (i, chunk) in gpu.memcpy_d2h(out, 64 * 8).chunks_exact(8).enumerate() {
+        assert_eq!(u64::from_le_bytes(chunk.try_into().unwrap()), i as u64 * 2);
+    }
+}

@@ -208,8 +208,7 @@ fn a_request_full_path_joins_host_and_device() {
     // launched at (or after) the host enqueue and retired before the job
     // completed.
     let rec = r
-        .device_records
-        .iter()
+        .device_records()
         .find(|rec| rec.grid == gref.grid)
         .expect("kernel record for the trail's grid");
     assert_eq!(rec.stream, gref.stream);
@@ -219,7 +218,7 @@ fn a_request_full_path_joins_host_and_device() {
     // And the stream-annotated device trace has its start/retire events.
     let mut started = false;
     let mut retired = false;
-    for ev in &r.device_events {
+    for ev in r.device_events() {
         match ev.kind {
             TraceEventKind::KernelStart { grid, stream } if grid == gref.grid => {
                 assert_eq!(stream, gref.stream);
