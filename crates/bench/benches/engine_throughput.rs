@@ -4,8 +4,15 @@
 //!
 //! ```text
 //! cargo bench -p ggpu-bench --bench engine_throughput
-//! GGPU_BENCH_QUICK=1 cargo bench -p ggpu-bench --bench engine_throughput  # CI
+//! GGPU_BENCH_QUICK=1 cargo bench -p ggpu-bench --bench engine_throughput
 //! ```
+//!
+//! This bench is a thin front end over the shared `measure` runner — the
+//! same warmup/iteration discipline, probe workloads, and engine
+//! configurations the `ggpu-bench` record store uses — kept for its
+//! criterion integration and the legacy `bench_engine.json` export. The
+//! CI perf gate reads the record store (`ggpu-bench run | cmp`), not
+//! this file.
 //!
 //! Per workload the headline numbers are single-thread cycles/sec, the
 //! cycles/sec ratio of `sim_threads = N` over `sim_threads = 1`, and how
@@ -14,51 +21,21 @@
 //! back to the serial loop at any requested thread count (no wall-clock
 //! speedup is possible there), so read the ratio together with that field.
 
-use std::time::Instant;
-
 use criterion::{criterion_group, Criterion};
-use ggpu_core::{benchmark, GpuConfig, Scale};
+use ggpu_bench::measure::matrix::{ENGINE_WORKLOADS, PARALLEL_THREADS};
+use ggpu_bench::measure::record::EngineAxes;
+use ggpu_bench::measure::runner::run_engine_once;
+use ggpu_core::Scale;
 use ggpu_sim::json::JsonWriter;
-
-/// Worker-thread count for the multi-threaded measurement.
-const PARALLEL_THREADS: usize = 4;
-
-/// `(abbrev, cdp)` probe workloads: SW is plain data-parallel DP, NvB is
-/// FM-index binning + search (a very different memory shape), and STAR
-/// with CDP exercises device-side launches and their overhead windows.
-const WORKLOADS: [(&str, bool); 3] = [("SW", false), ("NvB", false), ("STAR", true)];
 
 fn quick_mode() -> bool {
     std::env::var_os("GGPU_BENCH_QUICK").is_some()
 }
 
-/// A wider-than-`test_small` device so the SM phase dominates and sharding
-/// has something to chew on.
-fn engine_cfg(threads: usize) -> GpuConfig {
-    GpuConfig {
-        n_sms: 16,
-        ..GpuConfig::test_small()
-    }
-    .with_sim_threads(threads)
-}
-
-/// One measured run: simulated kernel cycles, cycles elided by
-/// fast-forward, and the resolved worker-thread count.
-struct RunSample {
-    cycles: u64,
-    skipped: u64,
-    resolved: usize,
-}
-
-fn run_workload(scale: Scale, abbrev: &str, cdp: bool, threads: usize) -> RunSample {
-    let config = engine_cfg(threads);
-    let b = benchmark(scale, abbrev).expect("workload is registered");
-    let r = b.run(&config, cdp);
-    assert!(r.verified, "probe workload {abbrev} must verify");
-    RunSample {
-        cycles: r.kernel_cycles,
-        skipped: r.fast_forward_skipped_cycles,
-        resolved: r.sim_threads,
+fn axes(threads: usize) -> EngineAxes {
+    EngineAxes {
+        sim_threads: threads,
+        ..EngineAxes::base()
     }
 }
 
@@ -71,22 +48,20 @@ struct Measured {
 }
 
 fn measure(scale: Scale, abbrev: &str, cdp: bool, threads: usize, iters: u32) -> Measured {
-    let t0 = Instant::now();
-    let mut cycles = 0u64;
-    let mut skipped = 0u64;
-    let mut resolved = 1;
+    let mut m = Measured {
+        cycles: 0,
+        skipped: 0,
+        secs: 0.0,
+        resolved: 1,
+    };
     for _ in 0..iters {
-        let s = run_workload(scale, abbrev, cdp, threads);
-        cycles += s.cycles;
-        skipped += s.skipped;
-        resolved = s.resolved;
+        let s = run_engine_once(scale, abbrev, cdp, &axes(threads));
+        m.cycles += s.cycles;
+        m.skipped += s.skipped;
+        m.secs += s.secs;
+        m.resolved = s.resolved_threads;
     }
-    Measured {
-        cycles,
-        skipped,
-        secs: t0.elapsed().as_secs_f64(),
-        resolved,
-    }
+    m
 }
 
 fn export_json(scale: Scale, iters: u32) {
@@ -106,7 +81,7 @@ fn export_json(scale: Scale, iters: u32) {
         .u64("sim_threads_parallel", PARALLEL_THREADS as u64)
         .begin_arr_key("workloads");
     let mut summary = String::new();
-    for (abbrev, cdp) in WORKLOADS {
+    for (abbrev, cdp) in ENGINE_WORKLOADS {
         let one = measure(scale, abbrev, cdp, 1, iters);
         let par = measure(scale, abbrev, cdp, PARALLEL_THREADS, iters);
         let rate_1 = one.cycles as f64 / one.secs.max(1e-9);
@@ -133,11 +108,7 @@ fn export_json(scale: Scale, iters: u32) {
     w.end_arr().end_obj();
     let doc = w.finish();
 
-    // `cargo bench` sets the cwd to the package root, so resolve the
-    // default `results/` against the workspace root instead.
-    let dir = std::env::var_os("GGPU_RESULTS_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"));
+    let dir = ggpu_bench::results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
@@ -160,11 +131,11 @@ fn bench_engine(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("engine_throughput");
     g.sample_size(if quick_mode() { 1 } else { 3 });
-    for (abbrev, cdp) in WORKLOADS {
+    for (abbrev, cdp) in ENGINE_WORKLOADS {
         for threads in [1usize, PARALLEL_THREADS] {
             g.bench_function(
                 format!("{}_{threads}_threads", abbrev.to_lowercase()),
-                |bch| bch.iter(|| run_workload(scale, abbrev, cdp, threads).cycles),
+                |bch| bch.iter(|| run_engine_once(scale, abbrev, cdp, &axes(threads)).cycles),
             );
         }
     }

@@ -366,11 +366,9 @@ fn print_mem_heatmap(units: &UnitProfile) {
 // ---- exports ---------------------------------------------------------------
 
 /// Directory machine-readable outputs land in (`results/` unless
-/// `GGPU_RESULTS_DIR` overrides it).
+/// `GGPU_RESULTS_DIR` overrides it) — the shared workspace resolution.
 fn results_dir() -> PathBuf {
-    std::env::var_os("GGPU_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    ggpu_bench::results_dir()
 }
 
 fn csv_cell(s: &str) -> String {

@@ -618,9 +618,7 @@ fn verify_telescoping(stats: &ggpu_sim::NodeStats) {
 // ---- exports ---------------------------------------------------------------
 
 fn results_dir() -> PathBuf {
-    std::env::var_os("GGPU_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    ggpu_bench::results_dir()
 }
 
 fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {

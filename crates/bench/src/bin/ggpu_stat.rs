@@ -31,17 +31,13 @@ use std::path::PathBuf;
 use ggpu_core::json::{Json, JsonWriter};
 use ggpu_core::render_table;
 use ggpu_genomics::random_genome;
+use ggpu_serve::traffic::{self, GENOME_LEN};
 use ggpu_serve::{
     AdmitError, Histogram, JobKind, LatencyStats, Priority, ServeConfig, ServeReport, Service,
     Tenant,
 };
-use ggpu_sim::{FaultPlan, GpuConfig};
-use rand::{Rng, SeedableRng};
-
-const GENOME_LEN: usize = 600;
-const FM_READ_LEN: u32 = 16;
-const PHMM_READ: u32 = 10;
-const PHMM_HAP: u32 = 14;
+use ggpu_sim::FaultPlan;
+use rand::SeedableRng;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Scenario {
@@ -198,20 +194,10 @@ fn verify_invariants(r: &ServeReport) -> Vec<String> {
 }
 
 /// Build the scenario's service configuration. All three share the soak
-/// geometry (3 workers, batch of 4, all three kernel shapes enabled);
-/// they differ in queue bound and fault plan.
+/// geometry ([`traffic::base_config`]: 3 workers, batch of 4, all three
+/// kernel shapes enabled); they differ in queue bound and fault plan.
 fn scenario_config(scenario: Scenario, genome: &[u8]) -> ServeConfig {
-    let mut cfg = ServeConfig::test_small();
-    cfg.gpu = GpuConfig::test_small();
-    cfg.gpu.watchdog_cycles = 10_000;
-    cfg.workers = 3;
-    cfg.queue_capacity = 24;
-    cfg.tenant_quota = 64;
-    cfg.max_batch = 4;
-    cfg.fm_genome = genome.to_vec();
-    cfg.fm_read_len = FM_READ_LEN;
-    cfg.phmm_read_len = PHMM_READ;
-    cfg.phmm_hap_len = PHMM_HAP;
+    let mut cfg = traffic::base_config(genome);
     match scenario {
         Scenario::Steady => {}
         Scenario::Overload => {
@@ -228,33 +214,6 @@ fn scenario_config(scenario: Scenario, genome: &[u8]) -> ServeConfig {
     cfg
 }
 
-/// One seeded job; the mix cycles through all three kernel shapes.
-fn gen_job(genome: &[u8], rng: &mut rand::rngs::StdRng) -> JobKind {
-    match rng.gen_range(0..3u32) {
-        0 => {
-            let ql = rng.gen_range(6..60usize);
-            let tl = rng.gen_range(6..60usize);
-            JobKind::Pairwise {
-                query: (0..ql).map(|_| rng.gen_range(0..4u8)).collect(),
-                target: (0..tl).map(|_| rng.gen_range(0..4u8)).collect(),
-            }
-        }
-        1 => {
-            let s = rng.gen_range(0..GENOME_LEN - FM_READ_LEN as usize);
-            JobKind::FmMap {
-                read: genome[s..s + FM_READ_LEN as usize].to_vec(),
-            }
-        }
-        _ => {
-            let hap: Vec<u8> = (0..PHMM_HAP).map(|_| rng.gen_range(0..4u8)).collect();
-            let s = rng.gen_range(0..=(PHMM_HAP - PHMM_READ) as usize);
-            let read = hap[s..s + PHMM_READ as usize].to_vec();
-            let quals: Vec<u8> = (0..PHMM_READ).map(|_| rng.gen_range(15..45u8)).collect();
-            JobKind::PairHmm { read, quals, hap }
-        }
-    }
-}
-
 /// Stream the scenario's traffic through a service and return the report.
 /// Submissions the bounded queue refuses are re-offered next round — the
 /// rejection still lands in the metrics, which is the point of the
@@ -264,8 +223,9 @@ fn run_scenario(scenario: Scenario, seed: u64, jobs: usize, wave: usize) -> Serv
     let genome = random_genome(GENOME_LEN, &mut rng).codes().to_vec();
     let mut svc = Service::new(scenario_config(scenario, &genome)).expect("build service");
     let mut gen_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
-    let mut pending: VecDeque<JobKind> =
-        (0..jobs).map(|_| gen_job(&genome, &mut gen_rng)).collect();
+    let mut pending: VecDeque<JobKind> = (0..jobs)
+        .map(|_| traffic::gen_job(&genome, &mut gen_rng))
+        .collect();
     let mut submitted = 0u32;
     let mut rounds = 0u64;
     while !pending.is_empty() {
@@ -456,9 +416,7 @@ fn print_slowest(r: &ServeReport, top: usize) {
 // ---- exports ---------------------------------------------------------------
 
 fn results_dir() -> PathBuf {
-    std::env::var_os("GGPU_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    ggpu_bench::results_dir()
 }
 
 fn csv_cell(s: &str) -> String {

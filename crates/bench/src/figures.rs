@@ -18,12 +18,10 @@ use ggpu_isa::{InstrClass, Space};
 use ggpu_mem::DramScheduler;
 use ggpu_sm::{SchedPolicy, StallReason};
 
-/// Directory machine-readable outputs (CSV/JSON) land in. Defaults to
-/// `results/`; override with the `GGPU_RESULTS_DIR` environment variable.
+/// Directory machine-readable outputs (CSV/JSON) land in — the shared
+/// workspace resolution from [`crate::results_dir`].
 fn results_dir() -> PathBuf {
-    std::env::var_os("GGPU_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    crate::results_dir()
 }
 
 /// Quote a CSV cell when it contains a delimiter, quote, or newline.

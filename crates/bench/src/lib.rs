@@ -8,8 +8,40 @@
 //! cargo run --release -p ggpu-bench --bin figures -- fig12 fig13 fig14
 //! ```
 //!
+//! The [`measure`] module is the engine's own performance-measurement
+//! pipeline (declarative benchmark matrix, append-only record store
+//! with provenance, noise-aware regression diffing), fronted by the
+//! `ggpu-bench` binary:
+//!
+//! ```text
+//! cargo run --release -p ggpu-bench --bin ggpu-bench -- run --quick
+//! cargo run --release -p ggpu-bench --bin ggpu-bench -- report
+//! cargo run --release -p ggpu-bench --bin ggpu-bench -- cmp --baseline results/records
+//! ```
+//!
 //! Criterion microbenchmarks of the CPU substrate live under `benches/`.
 
 #![forbid(unsafe_code)]
 
 pub mod figures;
+pub mod measure;
+
+use std::path::PathBuf;
+
+/// Directory machine-readable outputs (CSV/JSON/records) land in.
+///
+/// `GGPU_RESULTS_DIR` overrides; the default is the workspace-root
+/// `results/` directory, resolved against the compiled-in crate path so
+/// every binary and bench agrees on one location regardless of the
+/// invocation cwd. This is the single copy of a resolution that used to
+/// be duplicated across five tools.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("GGPU_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"))
+}
+
+/// The append-only measurement store, `<results_dir()>/records/`.
+pub fn records_dir() -> PathBuf {
+    results_dir().join("records")
+}

@@ -52,6 +52,7 @@ mod report;
 mod service;
 mod shape;
 mod telemetry;
+pub mod traffic;
 
 pub use error::{AdmitError, ServiceDead};
 pub use histogram::{Histogram, LatencyStats};
